@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark file regenerates the rows behind one quantitative claim of the
+paper (experiments E1-E10 in DESIGN.md / EXPERIMENTS.md), prints them, and
+asserts the qualitative shape of the result — who wins, by roughly what
+factor, where thresholds fall.  Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import SETTransistor
+
+
+def standard_transistor() -> SETTransistor:
+    """The reference SET used by most experiments (1 aF, 2 aF gate, 1 Mohm)."""
+    return SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
+                         junction_resistance=1e6)
+
+
+@pytest.fixture
+def transistor() -> SETTransistor:
+    """Reference SET device fixture."""
+    return standard_transistor()
+
+
+def print_experiment_header(identifier: str, claim: str) -> None:
+    """Uniform banner so benchmark output reads like EXPERIMENTS.md."""
+    print()
+    print("=" * 78)
+    print(f"{identifier}: {claim}")
+    print("=" * 78)

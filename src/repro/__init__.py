@@ -1,0 +1,70 @@
+"""repro: a single-electronics simulation and circuit-design toolkit.
+
+This package reproduces the system described by the survey *"Recent Advances
+and Future Prospects in Single-Electronics"*: the orthodox-theory physics
+core, a dedicated (SIMON-like) kinetic Monte-Carlo simulator, a
+master-equation solver, a SPICE-like compact-model circuit solver for hybrid
+SET-MOS designs, a device and logic library (including background-charge
+immune AM/FM coded logic), and the hybrid applications the paper highlights
+(multi-valued logic quantizer and single-electron random-number generator).
+
+Quickstart
+----------
+>>> from repro.devices import SETTransistor
+>>> from repro.master import MasterEquationSolver
+>>> set_device = SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
+...                            junction_resistance=1e6)
+>>> circuit = set_device.build_circuit(drain_voltage=1e-3, gate_voltage=0.0)
+>>> solver = MasterEquationSolver(circuit, temperature=1.0)
+>>> current = solver.current("J_drain")
+"""
+
+from . import constants, units
+from .constants import (
+    BOLTZMANN,
+    E_CHARGE,
+    HBAR,
+    PLANCK,
+    R_QUANTUM,
+    charging_energy,
+    max_operating_temperature,
+    thermal_energy,
+)
+from .errors import (
+    AnalysisError,
+    CircuitError,
+    ConvergenceError,
+    EncodingError,
+    NetlistParseError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    StateSpaceError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "BOLTZMANN",
+    "CircuitError",
+    "ConvergenceError",
+    "E_CHARGE",
+    "EncodingError",
+    "HBAR",
+    "NetlistParseError",
+    "PLANCK",
+    "R_QUANTUM",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "StateSpaceError",
+    "ValidationError",
+    "charging_energy",
+    "constants",
+    "max_operating_temperature",
+    "thermal_energy",
+    "units",
+    "__version__",
+]

@@ -1,0 +1,81 @@
+"""Analysis tools: oscillations, blockade, stability diagrams, temperature, randomness."""
+
+from .blockade import (
+    BlockadeAnalysis,
+    analyze_blockade,
+    conduction_threshold,
+    staircase_steps,
+)
+from .oscillations import (
+    OscillationAnalysis,
+    analyze_oscillations,
+    fundamental_component,
+    phase_shift_between,
+    refine_period_by_peaks,
+)
+from .randomness import (
+    SIGNIFICANCE_LEVEL,
+    RandomnessReport,
+    approximate_entropy_test,
+    block_frequency_test,
+    longest_run_of_ones_test,
+    monobit_test,
+    run_randomness_battery,
+    runs_test,
+    serial_correlation_test,
+)
+from .sensitivity import (
+    averaging_gain,
+    best_operating_point,
+    charge_resolution,
+    shot_noise_current,
+    transconductance,
+)
+from .stability import StabilityDiagram, compute_stability_diagram, theoretical_diamond
+from .temperature import (
+    TemperatureScalingRow,
+    diameter_for_capacitance,
+    diameter_for_temperature,
+    island_self_capacitance,
+    max_operating_temperature_for_diameter,
+    oscillation_visibility,
+    simulated_oscillation_visibility,
+    temperature_scaling_table,
+)
+
+__all__ = [
+    "BlockadeAnalysis",
+    "OscillationAnalysis",
+    "RandomnessReport",
+    "SIGNIFICANCE_LEVEL",
+    "StabilityDiagram",
+    "TemperatureScalingRow",
+    "analyze_blockade",
+    "analyze_oscillations",
+    "approximate_entropy_test",
+    "averaging_gain",
+    "best_operating_point",
+    "block_frequency_test",
+    "charge_resolution",
+    "compute_stability_diagram",
+    "conduction_threshold",
+    "diameter_for_capacitance",
+    "diameter_for_temperature",
+    "fundamental_component",
+    "island_self_capacitance",
+    "longest_run_of_ones_test",
+    "max_operating_temperature_for_diameter",
+    "monobit_test",
+    "oscillation_visibility",
+    "phase_shift_between",
+    "refine_period_by_peaks",
+    "run_randomness_battery",
+    "runs_test",
+    "serial_correlation_test",
+    "shot_noise_current",
+    "simulated_oscillation_visibility",
+    "staircase_steps",
+    "temperature_scaling_table",
+    "theoretical_diamond",
+    "transconductance",
+]

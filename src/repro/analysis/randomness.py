@@ -1,0 +1,206 @@
+"""Statistical randomness tests for the single-electron RNG (experiment E6).
+
+A compact battery in the spirit of the NIST SP 800-22 suite, restricted to
+tests that are meaningful for the 10-100 kbit streams the simulated RNG
+produces: monobit frequency, block frequency, runs, longest run of ones,
+serial correlation and approximate entropy.  Every test returns a p-value;
+the conventional acceptance criterion is ``p >= 0.01``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy import special
+
+from ..errors import AnalysisError
+
+#: Conventional significance level for accepting a stream as random.
+SIGNIFICANCE_LEVEL = 0.01
+
+
+def _as_bits(bits: Sequence[int]) -> np.ndarray:
+    array = np.asarray(bits, dtype=np.int64)
+    if array.ndim != 1 or array.size == 0:
+        raise AnalysisError("bit stream must be a non-empty 1-D sequence")
+    if np.any((array != 0) & (array != 1)):
+        raise AnalysisError("bit stream may only contain 0 and 1")
+    return array
+
+
+def monobit_test(bits: Sequence[int]) -> float:
+    """Frequency (monobit) test: are zeros and ones balanced?"""
+    array = _as_bits(bits)
+    if array.size < 100:
+        raise AnalysisError("monobit test needs at least 100 bits")
+    partial_sum = np.sum(2 * array - 1)
+    statistic = abs(partial_sum) / math.sqrt(array.size)
+    return float(special.erfc(statistic / math.sqrt(2.0)))
+
+
+def block_frequency_test(bits: Sequence[int], block_size: int = 128) -> float:
+    """Frequency-within-blocks test."""
+    array = _as_bits(bits)
+    if block_size < 8:
+        raise AnalysisError("block size must be at least 8")
+    blocks = array.size // block_size
+    if blocks < 4:
+        raise AnalysisError("need at least 4 full blocks")
+    trimmed = array[:blocks * block_size].reshape(blocks, block_size)
+    proportions = trimmed.mean(axis=1)
+    chi_squared = 4.0 * block_size * np.sum((proportions - 0.5) ** 2)
+    return float(special.gammaincc(blocks / 2.0, chi_squared / 2.0))
+
+
+def runs_test(bits: Sequence[int]) -> float:
+    """Runs test: does the number of 0/1 runs match expectation?"""
+    array = _as_bits(bits)
+    if array.size < 100:
+        raise AnalysisError("runs test needs at least 100 bits")
+    proportion = array.mean()
+    if abs(proportion - 0.5) >= 2.0 / math.sqrt(array.size):
+        return 0.0  # fails the monobit prerequisite
+    runs = 1 + int(np.sum(array[1:] != array[:-1]))
+    expected = 2.0 * array.size * proportion * (1.0 - proportion)
+    numerator = abs(runs - expected)
+    denominator = 2.0 * math.sqrt(2.0 * array.size) * proportion * (1.0 - proportion)
+    if denominator == 0.0:
+        return 0.0
+    return float(special.erfc(numerator / denominator))
+
+
+def longest_run_of_ones_test(bits: Sequence[int]) -> float:
+    """Longest-run-of-ones-in-a-block test (NIST parameters for 128-bit blocks)."""
+    array = _as_bits(bits)
+    block_size = 128
+    blocks = array.size // block_size
+    if blocks < 4:
+        raise AnalysisError("longest-run test needs at least 512 bits")
+    categories = [4, 5, 6, 7, 8, 9]
+    probabilities = [0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124]
+    counts = np.zeros(len(categories))
+    for index in range(blocks):
+        block = array[index * block_size:(index + 1) * block_size]
+        longest = _longest_run(block)
+        if longest <= categories[0]:
+            counts[0] += 1
+        elif longest >= categories[-1]:
+            counts[-1] += 1
+        else:
+            counts[categories.index(longest)] += 1
+    expected = blocks * np.asarray(probabilities)
+    chi_squared = float(np.sum((counts - expected) ** 2 / expected))
+    return float(special.gammaincc((len(categories) - 1) / 2.0, chi_squared / 2.0))
+
+
+def _longest_run(block: np.ndarray) -> int:
+    longest = 0
+    current = 0
+    for bit in block:
+        if bit:
+            current += 1
+            longest = max(longest, current)
+        else:
+            current = 0
+    return longest
+
+
+def serial_correlation_test(bits: Sequence[int], lag: int = 1) -> float:
+    """Autocorrelation at a given lag, mapped to a two-sided p-value."""
+    array = _as_bits(bits).astype(float)
+    if array.size <= lag + 10:
+        raise AnalysisError("stream too short for the requested lag")
+    x = array[:-lag] - array.mean()
+    y = array[lag:] - array.mean()
+    variance = np.sum((array - array.mean()) ** 2)
+    if variance == 0.0:
+        return 0.0
+    correlation = float(np.sum(x * y) / variance)
+    statistic = abs(correlation) * math.sqrt(array.size)
+    return float(special.erfc(statistic / math.sqrt(2.0)))
+
+
+def approximate_entropy_test(bits: Sequence[int], block_length: int = 2) -> float:
+    """Approximate-entropy test (NIST SP 800-22 section 2.12)."""
+    array = _as_bits(bits)
+    n = array.size
+    if n < 100:
+        raise AnalysisError("approximate-entropy test needs at least 100 bits")
+
+    def phi(m: int) -> float:
+        if m == 0:
+            return 0.0
+        padded = np.concatenate([array, array[:m - 1]]) if m > 1 else array
+        counts: Dict[Tuple[int, ...], int] = {}
+        for start in range(n):
+            pattern = tuple(padded[start:start + m])
+            counts[pattern] = counts.get(pattern, 0) + 1
+        total = 0.0
+        for count in counts.values():
+            probability = count / n
+            total += probability * math.log(probability)
+        return total
+
+    ap_en = phi(block_length) - phi(block_length + 1)
+    chi_squared = 2.0 * n * (math.log(2.0) - ap_en)
+    return float(special.gammaincc(2 ** (block_length - 1), chi_squared / 2.0))
+
+
+@dataclass(frozen=True)
+class RandomnessReport:
+    """Aggregated outcome of the randomness battery."""
+
+    p_values: Dict[str, float]
+    significance: float = SIGNIFICANCE_LEVEL
+
+    @property
+    def passed(self) -> Dict[str, bool]:
+        """Per-test pass/fail at the configured significance level."""
+        return {name: p >= self.significance for name, p in self.p_values.items()}
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every test passed."""
+        return all(self.passed.values())
+
+    @property
+    def pass_count(self) -> int:
+        """Number of tests passed."""
+        return sum(self.passed.values())
+
+    def summary_rows(self) -> List[Tuple[str, float, str]]:
+        """``(test, p_value, PASS/FAIL)`` rows for table printing."""
+        return [(name, p, "PASS" if p >= self.significance else "FAIL")
+                for name, p in self.p_values.items()]
+
+
+def run_randomness_battery(bits: Sequence[int],
+                           significance: float = SIGNIFICANCE_LEVEL
+                           ) -> RandomnessReport:
+    """Run the full battery on a bit stream and collect the p-values."""
+    array = _as_bits(bits)
+    p_values = {
+        "monobit": monobit_test(array),
+        "block_frequency": block_frequency_test(array),
+        "runs": runs_test(array),
+        "longest_run": longest_run_of_ones_test(array),
+        "serial_correlation": serial_correlation_test(array),
+        "approximate_entropy": approximate_entropy_test(array),
+    }
+    return RandomnessReport(p_values=p_values, significance=significance)
+
+
+__all__ = [
+    "RandomnessReport",
+    "SIGNIFICANCE_LEVEL",
+    "approximate_entropy_test",
+    "block_frequency_test",
+    "longest_run_of_ones_test",
+    "monobit_test",
+    "run_randomness_battery",
+    "runs_test",
+    "serial_correlation_test",
+]

@@ -1,0 +1,78 @@
+"""Charge-sensitivity helpers (electrometer figures of merit).
+
+The device-level electrometer lives in :mod:`repro.devices.electrometer`;
+this module provides the generic noise arithmetic it is built on, so the same
+formulas can be reused by the RNG analysis and by tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..constants import E_CHARGE
+from ..errors import AnalysisError
+
+
+def shot_noise_current(current: float, bandwidth: float = 1.0) -> float:
+    """RMS shot-noise current ``sqrt(2 e |I| B)`` in ampere."""
+    if bandwidth <= 0.0:
+        raise AnalysisError("bandwidth must be positive")
+    return math.sqrt(2.0 * E_CHARGE * abs(current) * bandwidth)
+
+
+def charge_resolution(transconductance_per_charge: float, current: float,
+                      bandwidth: float = 1.0) -> float:
+    """Minimum detectable charge (units of ``e``) for shot-noise-limited readout.
+
+    Parameters
+    ----------
+    transconductance_per_charge:
+        ``dI/dq0`` in ampere per coulomb.
+    current:
+        Operating-point current in ampere (sets the shot noise).
+    bandwidth:
+        Measurement bandwidth in hertz.
+    """
+    if transconductance_per_charge == 0.0:
+        return float("inf")
+    noise = shot_noise_current(current, bandwidth)
+    return noise / abs(transconductance_per_charge) / E_CHARGE
+
+
+def transconductance(x: Sequence[float], y: Sequence[float]) -> np.ndarray:
+    """Numerical derivative dy/dx of a sweep (same length as the inputs)."""
+    x_array = np.asarray(x, dtype=float)
+    y_array = np.asarray(y, dtype=float)
+    if x_array.shape != y_array.shape or x_array.size < 3:
+        raise AnalysisError("need matching arrays with at least 3 points")
+    return np.gradient(y_array, x_array)
+
+
+def best_operating_point(x: Sequence[float], y: Sequence[float]
+                         ) -> Tuple[float, float]:
+    """Sweep value and derivative magnitude where |dy/dx| is largest."""
+    slopes = transconductance(x, y)
+    index = int(np.argmax(np.abs(slopes)))
+    return float(np.asarray(x, dtype=float)[index]), float(abs(slopes[index]))
+
+
+def averaging_gain(averaging_time: float, bandwidth: float = 1.0) -> float:
+    """Charge-resolution improvement factor from averaging for a given time.
+
+    White-noise-limited: resolution improves as ``1/sqrt(B t)``.
+    """
+    if averaging_time <= 0.0 or bandwidth <= 0.0:
+        raise AnalysisError("averaging time and bandwidth must be positive")
+    return math.sqrt(bandwidth * averaging_time)
+
+
+__all__ = [
+    "averaging_gain",
+    "best_operating_point",
+    "charge_resolution",
+    "shot_noise_current",
+    "transconductance",
+]

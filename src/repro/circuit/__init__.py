@@ -1,0 +1,25 @@
+"""Single-electron circuit description: nodes, elements, netlists, parsing."""
+
+from .elements import Capacitor, ChargeTrap, Element, TunnelJunction, VoltageSource
+from .netlist import Circuit
+from .nodes import GROUND_NAME, Node, NodeKind
+from .parser import parse_netlist, parse_value, write_netlist
+from .validation import ValidationReport, assert_valid, validate_circuit
+
+__all__ = [
+    "Capacitor",
+    "ChargeTrap",
+    "Circuit",
+    "Element",
+    "GROUND_NAME",
+    "Node",
+    "NodeKind",
+    "TunnelJunction",
+    "ValidationReport",
+    "VoltageSource",
+    "assert_valid",
+    "parse_netlist",
+    "parse_value",
+    "validate_circuit",
+    "write_netlist",
+]

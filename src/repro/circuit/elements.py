@@ -1,0 +1,167 @@
+"""Circuit elements of the single-electron description.
+
+The orthodox-theory simulators (Monte Carlo and master equation) understand
+four element classes:
+
+* :class:`TunnelJunction` — a capacitance in parallel with a tunnel
+  resistance; the only element through which electrons can hop.
+* :class:`Capacitor` — an ideal capacitance; electrons cannot cross it, it
+  only shapes the electrostatics (gates, coupling capacitors).
+* :class:`VoltageSource` — fixes the potential of a source node with respect
+  to ground.
+* :class:`ChargeTrap` — a two-state defect capacitively coupled to an island.
+  When occupied it adds a (fractional) image charge to the island; its random
+  switching generates the random telegraph signal (RTS) exploited by the
+  single-electron random-number generator and feared by single-electron logic.
+
+Resistors and current sources belong to the continuous (SPICE-like) world and
+live in :mod:`repro.compact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import R_QUANTUM
+from ..errors import CircuitError
+
+
+@dataclass(frozen=True)
+class Element:
+    """Base class of all two-terminal single-electron circuit elements."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise CircuitError(
+                f"element name must be a non-empty string, got {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TunnelJunction(Element):
+    """A tunnel junction between ``node_a`` and ``node_b``.
+
+    Parameters
+    ----------
+    capacitance:
+        Junction capacitance in farad (> 0).
+    resistance:
+        Tunnel resistance in ohm (> 0).  Orthodox theory requires it to be
+        well above the resistance quantum ``h/e**2``; that requirement is
+        checked by :func:`repro.circuit.validation.validate_circuit`, not
+        here, so that deliberately pathological junctions can still be
+        constructed for testing.
+    """
+
+    node_a: str
+    node_b: str
+    capacitance: float
+    resistance: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node_a == self.node_b:
+            raise CircuitError(
+                f"tunnel junction {self.name!r} connects node {self.node_a!r} to itself"
+            )
+        if self.capacitance <= 0.0:
+            raise CircuitError(
+                f"tunnel junction {self.name!r} must have positive capacitance, "
+                f"got {self.capacitance!r}"
+            )
+        if self.resistance <= 0.0:
+            raise CircuitError(
+                f"tunnel junction {self.name!r} must have positive resistance, "
+                f"got {self.resistance!r}"
+            )
+
+    @property
+    def is_orthodox(self) -> bool:
+        """Whether the junction resistance exceeds the resistance quantum."""
+        return self.resistance > R_QUANTUM
+
+
+@dataclass(frozen=True)
+class Capacitor(Element):
+    """An ideal capacitor between ``node_a`` and ``node_b`` (no tunnelling)."""
+
+    node_a: str
+    node_b: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node_a == self.node_b:
+            raise CircuitError(
+                f"capacitor {self.name!r} connects node {self.node_a!r} to itself"
+            )
+        if self.capacitance <= 0.0:
+            raise CircuitError(
+                f"capacitor {self.name!r} must have positive capacitance, "
+                f"got {self.capacitance!r}"
+            )
+
+
+@dataclass(frozen=True)
+class VoltageSource(Element):
+    """An ideal voltage source fixing ``node`` at ``voltage`` volt above ground."""
+
+    node: str
+    voltage: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.voltage, (int, float)):
+            raise CircuitError(
+                f"voltage source {self.name!r} needs a numeric voltage, "
+                f"got {self.voltage!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ChargeTrap(Element):
+    """A bistable charge trap capacitively coupled to an island.
+
+    A trap models a single defect that can capture one electron.  When
+    occupied it shifts the effective offset charge of ``island`` by
+    ``coupling`` (in coulomb, conventionally a fraction of ``e``).  The
+    capture and emission times parameterise a two-state Markov process
+    (random telegraph signal).
+
+    Parameters
+    ----------
+    island:
+        Name of the island the trap is coupled to.
+    coupling:
+        Offset-charge shift induced on the island when the trap is occupied,
+        in coulomb.  May be negative.
+    capture_time:
+        Mean time (s) before an *empty* trap captures an electron.
+    emission_time:
+        Mean time (s) before an *occupied* trap emits its electron.
+    """
+
+    island: str
+    coupling: float
+    capture_time: float
+    emission_time: float
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.capture_time <= 0.0 or self.emission_time <= 0.0:
+            raise CircuitError(
+                f"charge trap {self.name!r} needs positive capture and emission times"
+            )
+        if self.coupling == 0.0:
+            raise CircuitError(
+                f"charge trap {self.name!r} has zero coupling and would have no effect"
+            )
+
+    @property
+    def occupancy_probability(self) -> float:
+        """Stationary probability that the trap is occupied."""
+        rate_capture = 1.0 / self.capture_time
+        rate_emission = 1.0 / self.emission_time
+        return rate_capture / (rate_capture + rate_emission)

@@ -1,0 +1,94 @@
+"""Circuit nodes.
+
+A single-electron circuit distinguishes two kinds of electrical nodes:
+
+* **Islands** — conducting regions connected to the rest of the circuit only
+  through tunnel junctions and capacitors.  The number of excess electrons on
+  an island is a discrete degree of freedom; it changes only through tunnel
+  events.  Each island can additionally carry a *fractional* offset (random
+  background) charge ``q0``, the central villain of the paper.
+* **Source nodes** — nodes whose potential is fixed by an ideal voltage
+  source.  The ground node is a source node held at 0 V.
+
+The compact (SPICE-like) solver in :mod:`repro.compact` uses its own
+continuous-voltage node abstraction; this module only serves the
+single-electron (Monte-Carlo / master-equation) description.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import CircuitError
+
+#: Reserved name of the ground node.
+GROUND_NAME = "gnd"
+
+
+class NodeKind(enum.Enum):
+    """Kind of a circuit node."""
+
+    #: A Coulomb island: integer electron number + fractional offset charge.
+    ISLAND = "island"
+
+    #: A node whose potential is imposed by an ideal voltage source.
+    SOURCE = "source"
+
+    #: The ground node (a source node permanently at 0 V).
+    GROUND = "ground"
+
+
+@dataclass
+class Node:
+    """A node of a single-electron circuit.
+
+    Parameters
+    ----------
+    name:
+        Unique node name within a circuit.
+    kind:
+        One of :class:`NodeKind`.
+    voltage:
+        Fixed potential in volt.  Only meaningful for source/ground nodes.
+    offset_charge:
+        Background (offset) charge in coulomb.  Only meaningful for islands.
+        Conventionally a fraction of the elementary charge.
+    """
+
+    name: str
+    kind: NodeKind
+    voltage: float = 0.0
+    offset_charge: float = 0.0
+    index: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise CircuitError(f"node name must be a non-empty string, got {self.name!r}")
+        if self.kind is NodeKind.GROUND and self.voltage != 0.0:
+            raise CircuitError("the ground node must be at 0 V")
+        if self.kind is not NodeKind.ISLAND and self.offset_charge != 0.0:
+            raise CircuitError(
+                f"offset charge is only meaningful on islands, not on {self.kind.value} "
+                f"node {self.name!r}"
+            )
+
+    @property
+    def is_island(self) -> bool:
+        """Whether this node is a Coulomb island."""
+        return self.kind is NodeKind.ISLAND
+
+    @property
+    def is_source(self) -> bool:
+        """Whether this node has a fixed potential (source or ground)."""
+        return self.kind in (NodeKind.SOURCE, NodeKind.GROUND)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_island:
+            return f"Node({self.name!r}, island, q0={self.offset_charge:.3e} C)"
+        return f"Node({self.name!r}, {self.kind.value}, V={self.voltage:.6g} V)"
+
+
+def make_ground() -> Node:
+    """Create the canonical ground node."""
+    return Node(GROUND_NAME, NodeKind.GROUND, voltage=0.0)

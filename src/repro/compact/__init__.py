@@ -1,0 +1,33 @@
+"""SPICE-like compact-model circuit solver for hybrid SET-MOS designs."""
+
+from .circuit import GROUND, CompactCircuit
+from .elements import CapacitorDC, CurrentSource, Resistor
+from .mosfet import MOSFET, MOSFETModel, THERMAL_VOLTAGE_300K
+from .set_model import AnalyticSETModel, MasterEquationSETModel, SETDevice, TunableSETModel
+from .solver import DCSolution, DCSolver
+from .sweep import SweepResult, TransientResult, dc_sweep, quasi_static_transient
+from .varactor import JunctionVaractor, SuspendedGateVaractor, Varactor
+
+__all__ = [
+    "AnalyticSETModel",
+    "CapacitorDC",
+    "CompactCircuit",
+    "CurrentSource",
+    "DCSolution",
+    "DCSolver",
+    "GROUND",
+    "JunctionVaractor",
+    "MOSFET",
+    "MOSFETModel",
+    "MasterEquationSETModel",
+    "Resistor",
+    "SETDevice",
+    "SuspendedGateVaractor",
+    "SweepResult",
+    "THERMAL_VOLTAGE_300K",
+    "TransientResult",
+    "TunableSETModel",
+    "Varactor",
+    "dc_sweep",
+    "quasi_static_transient",
+]

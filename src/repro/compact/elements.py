@@ -1,0 +1,107 @@
+"""Passive elements and sources of the compact (SPICE-like) solver.
+
+The compact solver works with *continuous* node voltages and device models
+that return terminal currents — exactly the abstraction SPICE uses.  Devices
+implement a tiny protocol:
+
+``terminals``
+    Ordered tuple of node names the device is connected to.
+``terminal_currents(voltages)``
+    Mapping terminal node -> current flowing *into* the device from that
+    node (ampere), given a mapping of node name -> node voltage.
+
+The Newton solver assembles Kirchhoff current equations from those terminal
+currents; it differentiates them numerically, so models only need to be
+reasonably smooth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..errors import CircuitError
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """An ideal resistor between ``node_a`` and ``node_b``."""
+
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise CircuitError(
+                f"resistor {self.name!r} must have positive resistance, "
+                f"got {self.resistance!r}"
+            )
+
+    @property
+    def terminals(self) -> Tuple[str, ...]:
+        """Connected nodes."""
+        return (self.node_a, self.node_b)
+
+    def terminal_currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
+        """Ohm's law: current into the device from each terminal."""
+        current = (voltages[self.node_a] - voltages[self.node_b]) / self.resistance
+        return {self.node_a: current, self.node_b: -current}
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """An ideal current source driving ``current`` ampere from ``node_a`` to ``node_b``.
+
+    A positive ``current`` pulls conventional current out of ``node_a`` and
+    pushes it into ``node_b`` (through the source), i.e. the source *injects*
+    current into ``node_b``.
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    current: float
+
+    @property
+    def terminals(self) -> Tuple[str, ...]:
+        """Connected nodes."""
+        return (self.node_a, self.node_b)
+
+    def terminal_currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
+        """Constant terminal currents, independent of the node voltages."""
+        return {self.node_a: self.current, self.node_b: -self.current}
+
+
+@dataclass(frozen=True)
+class CapacitorDC:
+    """A capacitor as seen by the DC solver: an open circuit.
+
+    It is kept in the netlist so quasi-static transient drivers and netlist
+    round-trips know about it, but it contributes no DC current.
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise CircuitError(
+                f"capacitor {self.name!r} must have positive capacitance, "
+                f"got {self.capacitance!r}"
+            )
+
+    @property
+    def terminals(self) -> Tuple[str, ...]:
+        """Connected nodes."""
+        return (self.node_a, self.node_b)
+
+    def terminal_currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
+        """No DC current flows through an ideal capacitor."""
+        return {self.node_a: 0.0, self.node_b: 0.0}
+
+
+__all__ = ["Resistor", "CurrentSource", "CapacitorDC"]

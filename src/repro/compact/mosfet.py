@@ -1,0 +1,161 @@
+"""A compact MOSFET model for hybrid SET-MOS circuits.
+
+The paper's applications (§3) rely on "a series connection of a MOSFET with an
+SET": the MOSFET supplies gain and acts as a (tunable) current source, the SET
+supplies the periodic characteristic.  A simple continuous square-law model
+with smooth weak-inversion (subthreshold) behaviour and channel-length
+modulation is entirely sufficient for that role and keeps the solver robust.
+
+The drain current of an n-channel device is modelled with the single-piece
+EKV-style interpolation::
+
+    I_D = 2 n k (U_T)^2 * [ln(1 + exp((V_GS - V_T)/(2 n U_T)))]^2
+          * (1 + lambda * V_DS) * f_sat(V_DS)
+
+which reduces to the familiar square law in strong inversion and to an
+exponential in weak inversion.  P-channel devices are obtained by mirroring.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..constants import BOLTZMANN, E_CHARGE
+from ..errors import CircuitError
+
+#: Thermal voltage at 300 K, used as the default subthreshold scale.
+THERMAL_VOLTAGE_300K = BOLTZMANN * 300.0 / E_CHARGE
+
+
+@dataclass(frozen=True)
+class MOSFETModel:
+    """Parameter set of a compact MOSFET.
+
+    Parameters
+    ----------
+    transconductance:
+        ``k = 0.5 mu C_ox W/L`` in A/V^2.
+    threshold_voltage:
+        Threshold voltage ``V_T`` in volt (positive for NMOS, the magnitude is
+        used for PMOS).
+    subthreshold_slope_factor:
+        Ideality factor ``n`` (1.0-1.8 typical).
+    channel_length_modulation:
+        ``lambda`` in 1/V.
+    thermal_voltage:
+        ``U_T = k_B T / e`` in volt; defaults to the 300 K value.
+    polarity:
+        ``"nmos"`` or ``"pmos"``.
+    """
+
+    transconductance: float = 1e-4
+    threshold_voltage: float = 0.4
+    subthreshold_slope_factor: float = 1.3
+    channel_length_modulation: float = 0.02
+    thermal_voltage: float = THERMAL_VOLTAGE_300K
+    polarity: str = "nmos"
+
+    def __post_init__(self) -> None:
+        if self.transconductance <= 0.0:
+            raise CircuitError("transconductance must be positive")
+        if self.subthreshold_slope_factor < 1.0:
+            raise CircuitError("subthreshold slope factor must be >= 1")
+        if self.thermal_voltage <= 0.0:
+            raise CircuitError("thermal voltage must be positive")
+        if self.polarity not in ("nmos", "pmos"):
+            raise CircuitError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+
+    @property
+    def is_nmos(self) -> bool:
+        """Whether the device is n-channel."""
+        return self.polarity == "nmos"
+
+    def drain_current(self, gate_source_voltage: float,
+                      drain_source_voltage: float) -> float:
+        """Drain current in ampere for the given terminal voltages.
+
+        For PMOS devices pass the physical (negative) voltages; the model
+        mirrors them internally.
+        """
+        vgs = gate_source_voltage if self.is_nmos else -gate_source_voltage
+        vds = drain_source_voltage if self.is_nmos else -drain_source_voltage
+        sign = 1.0 if self.is_nmos else -1.0
+        if vds < 0.0:
+            # Source and drain swap roles; exploit device symmetry.
+            return -sign * self._forward_current(vgs - vds, -vds)
+        return sign * self._forward_current(vgs, vds)
+
+    def _forward_current(self, vgs: float, vds: float) -> float:
+        n = self.subthreshold_slope_factor
+        ut = self.thermal_voltage
+        overdrive = (vgs - self.threshold_voltage) / (2.0 * n * ut)
+        # Smooth interpolation of the inversion charge.
+        if overdrive > 40.0:
+            inversion = overdrive * 2.0 * n * ut
+        else:
+            inversion = 2.0 * n * ut * math.log1p(math.exp(overdrive))
+        saturation_voltage = max(inversion, 1e-12)
+        # Smooth triode/saturation transition.
+        if vds < saturation_voltage:
+            shape = vds / saturation_voltage * (2.0 - vds / saturation_voltage)
+        else:
+            shape = 1.0
+        current = self.transconductance * inversion**2 * shape
+        current *= 1.0 + self.channel_length_modulation * vds
+        return current
+
+    def saturation_current(self, gate_source_voltage: float) -> float:
+        """Saturation (plateau) current for a given gate drive, in ampere."""
+        probe_vds = 10.0 * max(self.threshold_voltage, 0.1)
+        return abs(self.drain_current(gate_source_voltage, probe_vds
+                                      if self.is_nmos else -probe_vds))
+
+    def gate_voltage_for_current(self, target_current: float,
+                                 drain_source_voltage: float,
+                                 lower: float = -2.0, upper: float = 5.0,
+                                 iterations: int = 80) -> float:
+        """Gate-source voltage that produces ``target_current`` (bisection).
+
+        Used to bias the MOSFET of a SET-MOS stack as a current source of a
+        prescribed value.
+        """
+        if target_current <= 0.0:
+            raise CircuitError("target current must be positive")
+        low, high = lower, upper
+        for _ in range(iterations):
+            middle = 0.5 * (low + high)
+            current = abs(self.drain_current(middle if self.is_nmos else -middle,
+                                             drain_source_voltage))
+            if current < target_current:
+                low = middle
+            else:
+                high = middle
+        return 0.5 * (low + high) if self.is_nmos else -0.5 * (low + high)
+
+
+@dataclass(frozen=True)
+class MOSFET:
+    """A MOSFET instance wired into a compact circuit."""
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    model: MOSFETModel
+
+    @property
+    def terminals(self) -> Tuple[str, ...]:
+        """Connected nodes (the gate draws no current)."""
+        return (self.drain, self.gate, self.source)
+
+    def terminal_currents(self, voltages: Mapping[str, float]) -> Dict[str, float]:
+        """Drain/source currents; the gate is an ideal insulator."""
+        vgs = voltages[self.gate] - voltages[self.source]
+        vds = voltages[self.drain] - voltages[self.source]
+        drain_current = self.model.drain_current(vgs, vds)
+        return {self.drain: drain_current, self.gate: 0.0, self.source: -drain_current}
+
+
+__all__ = ["MOSFETModel", "MOSFET", "THERMAL_VOLTAGE_300K"]

@@ -1,0 +1,78 @@
+"""Physical constants used throughout the single-electronics toolkit.
+
+All values are CODATA 2018 exact or recommended values, in SI units.  The
+orthodox theory of single-electron tunnelling is formulated entirely in terms
+of the elementary charge ``E_CHARGE``, Boltzmann's constant ``BOLTZMANN`` and
+Planck's constant ``PLANCK`` (through the resistance quantum ``R_QUANTUM``),
+so these four numbers are the only physics inputs of the whole package.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Elementary charge ``e`` in coulomb (exact, SI 2019 definition).
+E_CHARGE: float = 1.602176634e-19
+
+#: Boltzmann constant ``k_B`` in joule per kelvin (exact, SI 2019 definition).
+BOLTZMANN: float = 1.380649e-23
+
+#: Planck constant ``h`` in joule second (exact, SI 2019 definition).
+PLANCK: float = 6.62607015e-34
+
+#: Reduced Planck constant ``hbar`` in joule second.
+HBAR: float = PLANCK / (2.0 * math.pi)
+
+#: Resistance quantum ``R_K = h / e**2`` in ohm (von Klitzing constant).
+#:
+#: Tunnel junctions must have a resistance well above ``R_QUANTUM`` for the
+#: electron number on an island to be a good quantum number (the orthodox
+#: theory requirement ``R_T >> R_K``).
+R_QUANTUM: float = PLANCK / E_CHARGE**2
+
+#: Conventional minimum ratio ``R_T / R_K`` for the orthodox theory to hold.
+ORTHODOX_RESISTANCE_RATIO: float = 10.0
+
+#: Vacuum permittivity ``epsilon_0`` in farad per metre.
+VACUUM_PERMITTIVITY: float = 8.8541878128e-12
+
+#: Conventional charging-energy margin for reliable single-electron operation:
+#: ``E_C >= OPERATING_MARGIN * k_B * T`` (the factor 40 is the rule of thumb
+#: quoted throughout the single-electronics literature, e.g. Likharev 1999).
+OPERATING_MARGIN: float = 40.0
+
+
+def charging_energy(total_capacitance: float) -> float:
+    """Return the single-electron charging energy ``e**2 / (2 C)`` in joule.
+
+    Parameters
+    ----------
+    total_capacitance:
+        Total capacitance of the island in farad.  Must be positive.
+    """
+    if total_capacitance <= 0.0:
+        raise ValueError(
+            f"total_capacitance must be positive, got {total_capacitance!r}"
+        )
+    return E_CHARGE**2 / (2.0 * total_capacitance)
+
+
+def thermal_energy(temperature: float) -> float:
+    """Return ``k_B * T`` in joule for a temperature in kelvin (``T >= 0``)."""
+    if temperature < 0.0:
+        raise ValueError(f"temperature must be non-negative, got {temperature!r}")
+    return BOLTZMANN * temperature
+
+
+def max_operating_temperature(total_capacitance: float,
+                              margin: float = OPERATING_MARGIN) -> float:
+    """Maximum operating temperature of a single-electron device in kelvin.
+
+    Uses the standard criterion ``e**2 / (2 C_total) >= margin * k_B * T``.
+    With the default margin of 40 this is the figure of merit behind the
+    paper's statement that *room temperature operation requires structures in
+    the few nanometre regime*.
+    """
+    if margin <= 0.0:
+        raise ValueError(f"margin must be positive, got {margin!r}")
+    return charging_energy(total_capacitance) / (margin * BOLTZMANN)

@@ -1,0 +1,37 @@
+"""Orthodox-theory core: electrostatics, free energies, tunnel rates, charge noise."""
+
+from .background import (
+    BackgroundChargeDistribution,
+    RandomTelegraphProcess,
+    TrapEnsemble,
+    wrap_offset_charge,
+)
+from .capacitance import CapacitanceSystem, CapacitiveBranch
+from .energy import EnergyModel, TunnelEvent
+from .rates import (
+    attempt_frequency,
+    charging_time,
+    cotunneling_rate,
+    detailed_balance_ratio,
+    heisenberg_tunnel_time,
+    orthodox_rate,
+    tunnel_traversal_time,
+)
+
+__all__ = [
+    "BackgroundChargeDistribution",
+    "CapacitanceSystem",
+    "CapacitiveBranch",
+    "EnergyModel",
+    "RandomTelegraphProcess",
+    "TrapEnsemble",
+    "TunnelEvent",
+    "attempt_frequency",
+    "charging_time",
+    "cotunneling_rate",
+    "detailed_balance_ratio",
+    "heisenberg_tunnel_time",
+    "orthodox_rate",
+    "tunnel_traversal_time",
+    "wrap_offset_charge",
+]

@@ -1,0 +1,36 @@
+"""Device library: SET transistor, electron box, electrometer, inverter, AM-FM SET."""
+
+from .amfm_set import AMFMSET, depletion_capacitance
+from .electrometer import SensitivityResult, SETElectrometer
+from .electron_box import SingleElectronBox
+from .set_inverter import SETInverter, mean_island_potential
+from .set_transistor import (
+    DRAIN_JUNCTION,
+    DRAIN_NODE,
+    DRAIN_SOURCE,
+    GATE_CAPACITOR,
+    GATE_NODE,
+    GATE_SOURCE,
+    ISLAND,
+    SETTransistor,
+    SOURCE_JUNCTION,
+)
+
+__all__ = [
+    "AMFMSET",
+    "DRAIN_JUNCTION",
+    "DRAIN_NODE",
+    "DRAIN_SOURCE",
+    "GATE_CAPACITOR",
+    "GATE_NODE",
+    "GATE_SOURCE",
+    "ISLAND",
+    "SETElectrometer",
+    "SETInverter",
+    "SETTransistor",
+    "SOURCE_JUNCTION",
+    "SensitivityResult",
+    "SingleElectronBox",
+    "depletion_capacitance",
+    "mean_island_potential",
+]

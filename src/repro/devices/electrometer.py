@@ -1,0 +1,140 @@
+"""The SET as a super-sensitive electrometer.
+
+"Probably the biggest disadvantage of a single-electron transistor is its
+large charge sensitivity.  For sensors that is a great thing.  One can build
+super sensitive electrometers that way."  (paper, §2)
+
+:class:`SETElectrometer` quantifies exactly that: the transfer of island
+charge to drain current, the optimum bias point, and the minimum detectable
+charge for a given measurement bandwidth assuming shot-noise-limited readout.
+Experiment E10 uses it to reproduce the claim of sub-``e`` (indeed micro-``e``
+class) charge resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import E_CHARGE
+from ..errors import AnalysisError
+from .set_transistor import DRAIN_JUNCTION, GATE_SOURCE, SETTransistor
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Charge-sensitivity figures of one electrometer operating point.
+
+    Attributes
+    ----------
+    gate_voltage:
+        Gate bias of the operating point, in volt.
+    current:
+        Drain current at that bias, in ampere.
+    transconductance_per_charge:
+        ``dI/dq_0`` in ampere per coulomb.
+    sensitivity_e_per_sqrt_hz:
+        Equivalent input charge noise in units of ``e / sqrt(Hz)`` assuming
+        shot-noise-limited current readout.
+    """
+
+    gate_voltage: float
+    current: float
+    transconductance_per_charge: float
+    sensitivity_e_per_sqrt_hz: float
+
+    def minimum_detectable_charge(self, bandwidth: float) -> float:
+        """Minimum detectable charge (units of ``e``) for a given bandwidth (Hz)."""
+        if bandwidth <= 0.0:
+            raise AnalysisError("bandwidth must be positive")
+        return self.sensitivity_e_per_sqrt_hz * float(np.sqrt(bandwidth))
+
+
+class SETElectrometer:
+    """Charge-sensing figure-of-merit calculator built on a SET transistor.
+
+    Parameters
+    ----------
+    transistor:
+        The underlying SET device.
+    drain_voltage:
+        Readout drain bias, in volt.  A value around half the blockade
+        voltage keeps the device in the steep part of its characteristic.
+    temperature:
+        Operating temperature in kelvin.
+    """
+
+    def __init__(self, transistor: SETTransistor, drain_voltage: Optional[float] = None,
+                 temperature: float = 0.1) -> None:
+        self.transistor = transistor
+        self.drain_voltage = drain_voltage if drain_voltage is not None \
+            else 0.5 * transistor.blockade_voltage
+        self.temperature = float(temperature)
+
+    # ------------------------------------------------------------ sensitivity
+
+    def charge_sensitivity(self, gate_voltage: float,
+                           probe_charge: float = 0.01 * E_CHARGE) -> SensitivityResult:
+        """Charge-to-current transfer at one gate bias.
+
+        ``dI/dq0`` is evaluated by a symmetric finite difference of the
+        master-equation current with respect to the island offset charge.
+        """
+        from ..master.steadystate import MasterEquationSolver
+
+        if probe_charge <= 0.0:
+            raise AnalysisError("probe_charge must be positive")
+
+        currents = []
+        for offset in (-probe_charge, 0.0, +probe_charge):
+            circuit = self.transistor.build_circuit(
+                drain_voltage=self.drain_voltage, gate_voltage=gate_voltage,
+                background_charge=self.transistor.background_charge + offset)
+            solver = MasterEquationSolver(circuit, temperature=self.temperature)
+            currents.append(solver.current(DRAIN_JUNCTION))
+        slope = (currents[2] - currents[0]) / (2.0 * probe_charge)
+        current = currents[1]
+        shot_noise = np.sqrt(2.0 * E_CHARGE * max(abs(current), 1e-30))
+        if abs(slope) > 0.0:
+            sensitivity = float(shot_noise / abs(slope)) / E_CHARGE
+        else:
+            sensitivity = float("inf")
+        return SensitivityResult(
+            gate_voltage=float(gate_voltage),
+            current=float(current),
+            transconductance_per_charge=float(slope),
+            sensitivity_e_per_sqrt_hz=sensitivity,
+        )
+
+    def optimise_bias(self, gate_voltages: Optional[Sequence[float]] = None
+                      ) -> SensitivityResult:
+        """Find the gate bias with the best (smallest) charge sensitivity.
+
+        By default one full Coulomb-oscillation period is scanned, which is
+        guaranteed to contain the steepest point of the characteristic.
+        """
+        if gate_voltages is None:
+            period = self.transistor.gate_period
+            gate_voltages = np.linspace(0.0, period, 41)
+        results = [self.charge_sensitivity(v) for v in gate_voltages]
+        finite = [r for r in results if np.isfinite(r.sensitivity_e_per_sqrt_hz)]
+        if not finite:
+            raise AnalysisError(
+                "no operating point with finite sensitivity found; increase the drain "
+                "bias or the temperature"
+            )
+        return min(finite, key=lambda r: r.sensitivity_e_per_sqrt_hz)
+
+    def sensitivity_profile(self, gate_voltages: Sequence[float]
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """``|dI/dq0|`` (A/C) across a gate sweep — the electrometer gain curve."""
+        gains = np.array([
+            abs(self.charge_sensitivity(v).transconductance_per_charge)
+            for v in gate_voltages
+        ])
+        return np.asarray(gate_voltages, dtype=float), gains
+
+
+__all__ = ["SETElectrometer", "SensitivityResult"]

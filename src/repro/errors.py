@@ -1,0 +1,71 @@
+"""Exception hierarchy for the single-electronics toolkit.
+
+All library-specific failures derive from :class:`ReproError`, so callers can
+catch the whole family with a single ``except`` clause while still being able
+to distinguish netlist problems from solver problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` package."""
+
+
+class CircuitError(ReproError):
+    """A circuit/netlist is malformed (unknown node, duplicate element, ...)."""
+
+
+class ValidationError(CircuitError):
+    """A structurally complete circuit fails a physical validity check.
+
+    Examples: an island with no tunnel junction attached, a junction with
+    non-positive capacitance, a tunnel resistance below the quantum of
+    resistance.
+    """
+
+
+class NetlistParseError(CircuitError):
+    """A text netlist could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line: str | None = None) -> None:
+        self.line_number = line_number
+        self.line = line
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class SolverError(ReproError):
+    """A numerical solver failed (singular matrix, no convergence, ...)."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver exhausted its iteration budget without converging."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        self.iterations = iterations
+        self.residual = residual
+        super().__init__(message)
+
+
+class StateSpaceError(ReproError):
+    """The master-equation state space is invalid or too large to enumerate."""
+
+
+class SimulationError(ReproError):
+    """A Monte-Carlo or transient simulation could not proceed."""
+
+
+class AnalysisError(ReproError):
+    """Post-processing/analysis of simulation results failed.
+
+    Raised for instance when an oscillation-period extraction is attempted on
+    a sweep that does not contain at least one full period.
+    """
+
+
+class EncodingError(ReproError):
+    """A logic-encoding operation failed (undecodable symbol, bad alphabet)."""

@@ -1,0 +1,43 @@
+"""Hybrid SET-MOS applications: literal gate, quantizer, random-number generator."""
+
+from .cmos_baselines import (
+    CMOSRNGBaseline,
+    RNGComparison,
+    SETMOSRNGFootprint,
+    cmos_periodic_iv_device_count,
+    cmos_quantizer_device_count,
+    compare_rng,
+    setmos_quantizer_device_count,
+)
+from .quantizer import SETMOSQuantizer
+from .rng import RNGSample, SingleElectronRNG, von_neumann_debias
+from .setmos import (
+    BIAS_NODE,
+    INPUT_NODE,
+    MOSFET_NAME,
+    OUTPUT_NODE,
+    SET_NAME,
+    SETMOSStack,
+    SUPPLY_NODE,
+)
+
+__all__ = [
+    "BIAS_NODE",
+    "CMOSRNGBaseline",
+    "INPUT_NODE",
+    "MOSFET_NAME",
+    "OUTPUT_NODE",
+    "RNGComparison",
+    "RNGSample",
+    "SETMOSQuantizer",
+    "SETMOSRNGFootprint",
+    "SETMOSStack",
+    "SET_NAME",
+    "SUPPLY_NODE",
+    "SingleElectronRNG",
+    "cmos_periodic_iv_device_count",
+    "cmos_quantizer_device_count",
+    "compare_rng",
+    "setmos_quantizer_device_count",
+    "von_neumann_debias",
+]

@@ -1,0 +1,181 @@
+"""Behavioural CMOS baselines for the paper's hybrid-circuit comparisons.
+
+The paper's §3 quantifies the SET-MOS advantage against CMOS implementations
+of the same functions: "Power consumption of the SET-MOS implementation is
+seven orders of magnitude less, at eight orders of magnitude smaller occupied
+area.  One of the reasons for this stellar performance is the large (four
+orders of magnitude higher) telegraphic noise of the root-mean-square value of
+0.12 V achieved in the SET."
+
+Those comparisons only need aggregate figures of the CMOS side — power, area,
+noise level, transistor count — not transistor-level CMOS simulations, so the
+baselines here are *behavioural*: parameter sets with documented, conservative
+values representative of early-2000s CMOS implementations (the technology
+generation the cited RNG and MVL papers compare against).  Every number can be
+overridden to explore the sensitivity of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class CMOSRNGBaseline:
+    """A CMOS thermal-noise random-number generator macro.
+
+    Default figures are representative of amplified-thermal-noise RNG macros
+    of the early 2000s (e.g. the Intel 810-class RNG the Uchida paper
+    benchmarks against): milliwatt-class power because the thermal noise of a
+    resistor (microvolts RMS) must be amplified by ~80 dB and digitised at
+    megahertz rates, and square-millimetre-class area for the amplifier,
+    oscillators and correctors.
+
+    Attributes
+    ----------
+    power:
+        Total macro power in watt.
+    area:
+        Macro area in square metre.
+    noise_rms:
+        RMS amplitude of the raw physical noise source in volt (thermal noise
+        at the comparator input before amplification).
+    transistor_count:
+        Approximate number of transistors in the macro.
+    """
+
+    power: float = 1e-2
+    area: float = 2e-6          # 2 mm^2 expressed in m^2
+    noise_rms: float = 15e-6    # ~15 uV RMS thermal noise at the source
+    transistor_count: int = 10_000
+
+    def __post_init__(self) -> None:
+        if min(self.power, self.area, self.noise_rms) <= 0.0:
+            raise AnalysisError("baseline power, area and noise must be positive")
+        if self.transistor_count <= 0:
+            raise AnalysisError("transistor count must be positive")
+
+
+@dataclass(frozen=True)
+class SETMOSRNGFootprint:
+    """Physical footprint of the SET-MOS random-number generator cell.
+
+    The cell is one SET (lithographically a few tens of nanometres), one
+    MOSFET of minimum size and a sense node; its power is whatever the stack
+    draws from the supply (computed by the simulation, nanowatt class).
+
+    Attributes
+    ----------
+    area:
+        Cell area in square metre (default: 0.03 um^2, dominated by the
+        minimum-size MOSFET).
+    """
+
+    area: float = 0.03e-12
+
+    def __post_init__(self) -> None:
+        if self.area <= 0.0:
+            raise AnalysisError("area must be positive")
+
+
+@dataclass(frozen=True)
+class RNGComparison:
+    """The paper's RNG comparison row: SET-MOS versus CMOS."""
+
+    set_power: float
+    cmos_power: float
+    set_area: float
+    cmos_area: float
+    set_noise_rms: float
+    cmos_noise_rms: float
+
+    @property
+    def power_ratio(self) -> float:
+        """CMOS power divided by SET-MOS power (paper: ~1e7)."""
+        return self.cmos_power / self.set_power if self.set_power > 0.0 else float("inf")
+
+    @property
+    def area_ratio(self) -> float:
+        """CMOS area divided by SET-MOS area (paper: ~1e8)."""
+        return self.cmos_area / self.set_area if self.set_area > 0.0 else float("inf")
+
+    @property
+    def noise_ratio(self) -> float:
+        """SET noise RMS divided by CMOS noise RMS (paper: ~1e4)."""
+        return self.set_noise_rms / self.cmos_noise_rms if self.cmos_noise_rms > 0.0 \
+            else float("inf")
+
+    def orders_of_magnitude(self) -> Tuple[float, float, float]:
+        """(power, area, noise) advantages as orders of magnitude."""
+        import math
+
+        return (math.log10(self.power_ratio), math.log10(self.area_ratio),
+                math.log10(self.noise_ratio))
+
+
+def compare_rng(set_power: float, set_noise_rms: float,
+                set_footprint: SETMOSRNGFootprint = SETMOSRNGFootprint(),
+                cmos: CMOSRNGBaseline = CMOSRNGBaseline()) -> RNGComparison:
+    """Assemble the RNG comparison row from simulated SET-MOS figures."""
+    if set_power <= 0.0 or set_noise_rms <= 0.0:
+        raise AnalysisError("SET-MOS power and noise must be positive")
+    return RNGComparison(
+        set_power=set_power,
+        cmos_power=cmos.power,
+        set_area=set_footprint.area,
+        cmos_area=cmos.area,
+        set_noise_rms=set_noise_rms,
+        cmos_noise_rms=cmos.noise_rms,
+    )
+
+
+def cmos_periodic_iv_device_count(peaks: int,
+                                  transistors_per_peak: int = 4,
+                                  overhead_transistors: int = 6) -> int:
+    """Transistors a CMOS circuit needs to replicate an N-peak periodic IV.
+
+    "If one would like to replicate a similar IV-characteristic in CMOS, one
+    would need many transistors, not just one as in the single electron case."
+    (paper, §3)
+
+    Each additional current peak requires a folded differential stage (about
+    four transistors) on top of a fixed bias/mirror overhead.
+    """
+    if peaks <= 0:
+        raise AnalysisError("number of peaks must be positive")
+    if transistors_per_peak <= 0 or overhead_transistors < 0:
+        raise AnalysisError("transistor counts must be positive")
+    return peaks * transistors_per_peak + overhead_transistors
+
+
+def cmos_quantizer_device_count(levels: int,
+                                transistors_per_comparator: int = 12,
+                                encoder_transistors_per_level: int = 6) -> int:
+    """Transistors of a CMOS flash quantizer with a given number of levels.
+
+    A flash converter needs ``levels - 1`` comparators plus an encoder;
+    comparators cost ~12 transistors each and the encoder roughly 6 per level.
+    """
+    if levels < 2:
+        raise AnalysisError("a quantizer needs at least 2 levels")
+    return (levels - 1) * transistors_per_comparator \
+        + levels * encoder_transistors_per_level
+
+
+def setmos_quantizer_device_count() -> int:
+    """Active devices of the SET-MOS quantizer: one SET plus two MOSFETs."""
+    return 3
+
+
+__all__ = [
+    "CMOSRNGBaseline",
+    "RNGComparison",
+    "SETMOSRNGFootprint",
+    "cmos_periodic_iv_device_count",
+    "cmos_quantizer_device_count",
+    "compare_rng",
+    "setmos_quantizer_device_count",
+]

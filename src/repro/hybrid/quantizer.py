@@ -1,0 +1,179 @@
+"""The SET-MOS multiple-valued logic quantizer (Inokawa-style, experiment E5).
+
+The series SET-MOS stack has a periodic ("sawtooth") output-versus-input
+characteristic — in multiple-valued-logic terms a *universal literal gate*.
+Adding a source-follower stage that sums the input with the (inverted)
+sawtooth turns the characteristic into a staircase: the input is quantized to
+one of several discrete output levels.  One SET and two MOSFETs therefore do
+the work of a CMOS flash quantizer with dozens of transistors — the paper's
+"pack more functionality into less devices and less chip area".
+
+The follower/summing stage is modelled behaviourally (an ideal unity-gain
+summer with a calibrated scale factor); the SET-MOS literal gate underneath is
+a full compact-circuit simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..logic.mvl import LevelAnalysis, detect_levels, staircase_monotonicity
+from .cmos_baselines import cmos_quantizer_device_count, setmos_quantizer_device_count
+from .setmos import SETMOSStack
+
+
+def _default_quantizer_stack() -> SETMOSStack:
+    """A SET-MOS stack tuned for quantizer operation.
+
+    A few-kelvin SET with aF-scale capacitances and a weak-inversion MOSFET
+    current source place the operating point on the blockade knee, where the
+    literal-gate sawtooth is cleanest.
+    """
+    from ..compact.mosfet import MOSFETModel
+    from ..compact.set_model import AnalyticSETModel
+
+    return SETMOSStack(set_model=AnalyticSETModel(temperature=10.0),
+                       mosfet_model=MOSFETModel(transconductance=2e-5),
+                       supply_voltage=1.0)
+
+
+@dataclass
+class SETMOSQuantizer:
+    """A multiple-valued quantizer built from one SET-MOS literal gate.
+
+    Parameters
+    ----------
+    stack:
+        The underlying SET-MOS stack.
+    calibration_points:
+        Number of sweep points (per period) used to calibrate the summing
+        gain of the follower stage.
+    """
+
+    stack: SETMOSStack = field(default_factory=_default_quantizer_stack)
+    calibration_points: int = 33
+    _summing_gain: Optional[float] = field(default=None, repr=False)
+    _literal_reference: float = field(default=0.0, repr=False)
+
+    # ------------------------------------------------------------ calibration
+
+    @property
+    def input_period(self) -> float:
+        """Input-voltage period of the literal gate (the SET's ``e/C_g``)."""
+        return self.stack.set_model.gate_period  # type: ignore[attr-defined]
+
+    def literal_transfer(self, input_voltages: Sequence[float]
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw periodic (sawtooth) transfer curve of the SET-MOS stack."""
+        return self.stack.transfer_curve(input_voltages)
+
+    def _calibrate(self) -> float:
+        """Signed summing gain that cancels the within-period input ramp.
+
+        The literal gate's output ramps with slope ``s`` inside one period
+        (and jumps back at the period boundary); a follower gain of ``-1/s``
+        makes ``V_in + g * V_literal`` flat inside the period, so only the
+        period-boundary jumps survive — a staircase.
+        """
+        if self._summing_gain is not None:
+            return self._summing_gain
+        period = self.input_period
+        inputs = np.linspace(0.0, period, self.calibration_points, endpoint=False)
+        _, outputs = self.literal_transfer(inputs)
+        derivatives = np.gradient(outputs, inputs)
+        # The literal characteristic consists of a long ramp, a possible flat
+        # knee and one abrupt reset per period.  The ramp slope is the median
+        # of the steepest 40 % of the samples that share the dominant sign
+        # (the reset has the opposite sign and is excluded automatically).
+        dominant_sign = -1.0 if np.sum(derivatives < 0.0) >= np.sum(derivatives > 0.0) \
+            else 1.0
+        ramp = derivatives[derivatives * dominant_sign > 0.0]
+        if ramp.size == 0:
+            raise AnalysisError(
+                "the literal gate shows no within-period slope; the MOSFET bias is "
+                "outside the SET's modulation range"
+            )
+        steep = np.sort(np.abs(ramp))[int(0.6 * ramp.size):]
+        slope = dominant_sign * float(np.median(steep)) if steep.size \
+            else dominant_sign * float(np.median(np.abs(ramp)))
+        if abs(slope) < 1e-6:
+            raise AnalysisError(
+                "the literal gate shows no within-period slope; the MOSFET bias is "
+                "outside the SET's modulation range"
+            )
+        self._summing_gain = float(-1.0 / slope)
+        self._literal_reference = float(np.mean(outputs))
+        return self._summing_gain
+
+    # --------------------------------------------------------------- transfer
+
+    def transfer_curve(self, input_voltages: Sequence[float]
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Staircase transfer curve: input summed with the scaled literal output.
+
+        The follower stage computes ``V_out = V_in + g * V_literal`` with the
+        gain ``g`` calibrated so the within-period ramp of the literal gate
+        exactly cancels the input ramp, leaving flat steps of width ``e/C_g``.
+        """
+        gain = self._calibrate()
+        inputs, literal = self.literal_transfer(input_voltages)
+        staircase = inputs + gain * (literal - self._literal_reference)
+        return inputs, staircase
+
+    def quantize(self, input_voltage: float) -> float:
+        """Quantized output for one input voltage."""
+        _, output = self.transfer_curve([input_voltage - 1e-12, input_voltage])
+        return float(output[-1])
+
+    # ----------------------------------------------------------------- levels
+
+    def level_analysis(self, input_span_periods: float = 4.0,
+                       points_per_period: int = 16) -> LevelAnalysis:
+        """Detect the discrete output levels over a multi-period input span."""
+        if input_span_periods < 2.0:
+            raise AnalysisError("need at least two periods to observe multiple levels")
+        period = self.input_period
+        inputs = np.linspace(0.0, input_span_periods * period,
+                             int(input_span_periods * points_per_period))
+        _, outputs = self.transfer_curve(inputs)
+        # Keep only the flat parts of the staircase (local slope well below the
+        # riser slope); the slanted risers would otherwise bridge adjacent
+        # plateaus and fool the gap-based clustering.
+        slopes = np.abs(np.gradient(outputs, inputs))
+        flat = slopes < 0.35
+        if np.count_nonzero(flat) < 4:
+            flat = slopes <= np.percentile(slopes, 50.0)
+        return detect_levels(outputs[flat], minimum_separation=0.45 * period)
+
+    def staircase_quality(self, input_span_periods: float = 4.0,
+                          points_per_period: int = 16) -> float:
+        """Monotonicity score of the staircase (1.0 = never decreases)."""
+        period = self.input_period
+        inputs = np.linspace(0.0, input_span_periods * period,
+                             int(input_span_periods * points_per_period))
+        _, outputs = self.transfer_curve(inputs)
+        return staircase_monotonicity(inputs, outputs)
+
+    # ------------------------------------------------------------- comparison
+
+    @property
+    def device_count(self) -> int:
+        """Active devices: one SET, the load MOSFET and the follower MOSFET."""
+        return setmos_quantizer_device_count()
+
+    def cmos_equivalent_device_count(self, input_span_periods: float = 4.0) -> int:
+        """Transistors a CMOS flash quantizer needs for the same level count."""
+        analysis = self.level_analysis(input_span_periods=input_span_periods)
+        levels = max(analysis.level_count, 2)
+        return cmos_quantizer_device_count(levels)
+
+    def device_advantage(self, input_span_periods: float = 4.0) -> float:
+        """CMOS transistor count divided by the SET-MOS device count."""
+        return self.cmos_equivalent_device_count(input_span_periods) / self.device_count
+
+
+__all__ = ["SETMOSQuantizer"]

@@ -1,0 +1,7 @@
+"""Result containers and table formatting."""
+
+from .results import ExperimentRecord, SweepRecord
+from .tables import format_table, format_value, print_table
+
+__all__ = ["ExperimentRecord", "SweepRecord", "format_table", "format_value",
+           "print_table"]

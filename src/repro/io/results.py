@@ -1,0 +1,172 @@
+"""Result containers with CSV round-trips.
+
+Sweep-style results (a swept variable plus one or more recorded traces) are
+the common currency of every experiment in the package.  :class:`SweepRecord`
+stores them with metadata and serialises to/from CSV so benchmark outputs can
+be archived and re-plotted without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass
+class SweepRecord:
+    """A swept variable plus named recorded traces.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the sweep (e.g. ``"id_vg_q0_0.25"``).
+    sweep_label:
+        Name of the swept quantity (e.g. ``"V_gate [V]"``).
+    sweep_values:
+        The swept values.
+    traces:
+        Mapping trace name -> array of recorded values (same length as
+        ``sweep_values``).
+    metadata:
+        Free-form string metadata (temperatures, device parameters, ...).
+    """
+
+    name: str
+    sweep_label: str
+    sweep_values: np.ndarray
+    traces: Dict[str, np.ndarray] = field(default_factory=dict)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.sweep_values = np.asarray(self.sweep_values, dtype=float)
+        for key, values in list(self.traces.items()):
+            array = np.asarray(values, dtype=float)
+            if array.shape != self.sweep_values.shape:
+                raise AnalysisError(
+                    f"trace {key!r} has shape {array.shape}, expected "
+                    f"{self.sweep_values.shape}"
+                )
+            self.traces[key] = array
+
+    def add_trace(self, name: str, values: Sequence[float]) -> None:
+        """Add one more recorded trace (must match the sweep length)."""
+        array = np.asarray(values, dtype=float)
+        if array.shape != self.sweep_values.shape:
+            raise AnalysisError(
+                f"trace {name!r} has shape {array.shape}, expected "
+                f"{self.sweep_values.shape}"
+            )
+        self.traces[name] = array
+
+    def trace(self, name: str) -> np.ndarray:
+        """Look up a trace by name."""
+        try:
+            return self.traces[name]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown trace {name!r}; known traces: {sorted(self.traces)}"
+            ) from None
+
+    # ---------------------------------------------------------------- CSV I/O
+
+    def to_csv(self, destination: Union[str, Path, io.TextIOBase, None] = None) -> str:
+        """Serialise to CSV (metadata in ``#`` comment lines).
+
+        Returns the CSV text; when ``destination`` is a path or stream, the
+        text is also written there.
+        """
+        buffer = io.StringIO()
+        for key, value in self.metadata.items():
+            buffer.write(f"# {key}={value}\n")
+        buffer.write(f"# name={self.name}\n")
+        writer = csv.writer(buffer)
+        headers = [self.sweep_label] + list(self.traces)
+        writer.writerow(headers)
+        for row_index in range(self.sweep_values.size):
+            row = [repr(float(self.sweep_values[row_index]))]
+            row += [repr(float(self.traces[key][row_index])) for key in self.traces]
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if destination is None:
+            return text
+        if isinstance(destination, (str, Path)):
+            Path(destination).write_text(text)
+        else:
+            destination.write(text)
+        return text
+
+    @classmethod
+    def from_csv(cls, source: Union[str, Path, io.TextIOBase],
+                 name: Optional[str] = None) -> "SweepRecord":
+        """Parse a CSV produced by :meth:`to_csv`."""
+        if isinstance(source, (str, Path)) and Path(source).exists():
+            text = Path(source).read_text()
+        elif isinstance(source, (str, Path)):
+            text = str(source)
+        else:
+            text = source.read()
+        metadata: Dict[str, str] = {}
+        data_lines: List[str] = []
+        for line in text.splitlines():
+            if line.startswith("#"):
+                stripped = line[1:].strip()
+                if "=" in stripped:
+                    key, _, value = stripped.partition("=")
+                    metadata[key.strip()] = value.strip()
+            elif line.strip():
+                data_lines.append(line)
+        if not data_lines:
+            raise AnalysisError("CSV contains no data rows")
+        reader = csv.reader(io.StringIO("\n".join(data_lines)))
+        headers = next(reader)
+        columns: List[List[float]] = [[] for _ in headers]
+        for row in reader:
+            if not row:
+                continue
+            for index, cell in enumerate(row):
+                columns[index].append(float(cell))
+        record_name = name or metadata.pop("name", "sweep")
+        sweep_label = headers[0]
+        traces = {header: np.array(column)
+                  for header, column in zip(headers[1:], (columns[1:]))}
+        return cls(name=record_name, sweep_label=sweep_label,
+                   sweep_values=np.array(columns[0]), traces=traces,
+                   metadata=metadata)
+
+
+@dataclass
+class ExperimentRecord:
+    """Paper-claim-versus-measured record for one experiment (EXPERIMENTS.md rows)."""
+
+    experiment: str
+    claim: str
+    measured: Dict[str, float] = field(default_factory=dict)
+    verdict: str = ""
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps({
+            "experiment": self.experiment,
+            "claim": self.claim,
+            "measured": self.measured,
+            "verdict": self.verdict,
+        }, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentRecord":
+        """Parse a JSON string produced by :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls(experiment=payload["experiment"], claim=payload["claim"],
+                   measured=dict(payload.get("measured", {})),
+                   verdict=payload.get("verdict", ""))
+
+
+__all__ = ["SweepRecord", "ExperimentRecord"]

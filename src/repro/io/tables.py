@@ -1,0 +1,77 @@
+"""Plain-text table formatting for benchmark and experiment output.
+
+Every benchmark prints the rows the corresponding paper claim refers to;
+:func:`format_table` keeps that output aligned and readable without pulling in
+any dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_value(value: Cell, precision: int = 4) -> str:
+    """Format one cell: floats in engineering-friendly general format."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: Optional[str] = None, precision: int = 4) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column headings.
+    rows:
+        Iterable of rows; each row must have the same length as ``headers``.
+    title:
+        Optional title line printed above the table.
+    precision:
+        Significant digits used for floating-point cells.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells but there are {len(headers)} headers"
+            )
+        rendered_rows.append([format_value(cell, precision) for cell in row])
+
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[column])
+                         for column, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                title: Optional[str] = None, precision: int = 4) -> None:
+    """Format and print a table (convenience for benchmarks and examples)."""
+    print(format_table(headers, rows, title=title, precision=precision))
+
+
+__all__ = ["format_table", "format_value", "print_table"]

@@ -1,0 +1,45 @@
+"""Single-electron logic: information coding, AM/FM gates, family metrics, power."""
+
+from .amfm import AMCodedSETLogic, ErrorRateResult, FMCodedSETLogic, bit_error_rate
+from .encoding import BitReading, DirectCodedSETLogic, LogicEncoding
+from .family import (
+    GainTemperatureRow,
+    InverterMetrics,
+    characterize_inverter,
+    gain_temperature_tradeoff,
+)
+from .mvl import LevelAnalysis, detect_levels, quantization_error, staircase_monotonicity
+from .power import (
+    LogicPowerComparison,
+    cmos_switching_energy,
+    compare_logic_power,
+    dynamic_power,
+    set_switching_energy,
+    static_power,
+    thermodynamic_limit,
+)
+
+__all__ = [
+    "AMCodedSETLogic",
+    "BitReading",
+    "DirectCodedSETLogic",
+    "ErrorRateResult",
+    "FMCodedSETLogic",
+    "GainTemperatureRow",
+    "InverterMetrics",
+    "LevelAnalysis",
+    "LogicEncoding",
+    "LogicPowerComparison",
+    "bit_error_rate",
+    "characterize_inverter",
+    "cmos_switching_energy",
+    "compare_logic_power",
+    "detect_levels",
+    "dynamic_power",
+    "gain_temperature_tradeoff",
+    "quantization_error",
+    "set_switching_energy",
+    "staircase_monotonicity",
+    "static_power",
+    "thermodynamic_limit",
+]

@@ -1,0 +1,116 @@
+"""Multi-valued logic analysis of periodic transfer characteristics.
+
+"The periodic IV-characteristic also lends itself to various multi valued
+logic schemes."  (paper, §3)
+
+The hybrid SET-MOS quantizer (:mod:`repro.hybrid.quantizer`) produces a
+staircase-like transfer curve whose plateaus are the logic levels.  The
+helpers here detect those plateaus, check their uniformity, and quantify how
+many distinct levels one SET-MOS pair provides — the number a CMOS
+implementation would need "many transistors, not just one" to replicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class LevelAnalysis:
+    """Detected multi-valued logic levels of a transfer curve.
+
+    Attributes
+    ----------
+    levels:
+        Sorted representative output values of each detected plateau.
+    level_count:
+        Number of distinct levels.
+    separation:
+        Mean spacing between adjacent levels (0 for fewer than two levels).
+    uniformity:
+        Ratio of the smallest to the largest spacing between adjacent levels
+        (1 = perfectly uniform; 0 when fewer than two levels).
+    """
+
+    levels: Tuple[float, ...]
+    level_count: int
+    separation: float
+    uniformity: float
+
+
+def detect_levels(outputs: Sequence[float],
+                  minimum_separation: Optional[float] = None) -> LevelAnalysis:
+    """Cluster output samples into discrete logic levels.
+
+    A simple one-dimensional gap-based clustering: sort the output samples and
+    split wherever consecutive samples are farther apart than
+    ``minimum_separation`` (default: a quarter of the output range divided by
+    a nominal 8 levels, which works for any reasonably flat staircase).
+    """
+    values = np.asarray(outputs, dtype=float)
+    if values.size < 4:
+        raise AnalysisError("need at least 4 output samples")
+    sorted_values = np.sort(values)
+    span = sorted_values[-1] - sorted_values[0]
+    if span <= 0.0:
+        return LevelAnalysis(levels=(float(sorted_values[0]),), level_count=1,
+                             separation=0.0, uniformity=0.0)
+    if minimum_separation is None:
+        minimum_separation = span / 32.0
+    if minimum_separation <= 0.0:
+        raise AnalysisError("minimum_separation must be positive")
+
+    clusters: List[List[float]] = [[float(sorted_values[0])]]
+    for value in sorted_values[1:]:
+        if value - clusters[-1][-1] > minimum_separation:
+            clusters.append([float(value)])
+        else:
+            clusters[-1].append(float(value))
+    levels = tuple(float(np.mean(cluster)) for cluster in clusters)
+
+    if len(levels) < 2:
+        return LevelAnalysis(levels=levels, level_count=len(levels),
+                             separation=0.0, uniformity=0.0)
+    spacings = np.diff(levels)
+    return LevelAnalysis(
+        levels=levels,
+        level_count=len(levels),
+        separation=float(np.mean(spacings)),
+        uniformity=float(np.min(spacings) / np.max(spacings)),
+    )
+
+
+def staircase_monotonicity(inputs: Sequence[float], outputs: Sequence[float]
+                           ) -> float:
+    """Fraction of sweep steps on which a quantizer staircase does not decrease.
+
+    A perfect staircase returns 1.0; values below ~0.9 indicate the transfer
+    curve is rippling rather than quantising.
+    """
+    x = np.asarray(inputs, dtype=float)
+    y = np.asarray(outputs, dtype=float)
+    if x.shape != y.shape or x.size < 3:
+        raise AnalysisError("need matching arrays with at least 3 points")
+    steps = np.diff(y)
+    tolerance = 1e-3 * max(np.ptp(y), 1e-30)
+    return float(np.mean(steps >= -tolerance))
+
+
+def quantization_error(inputs: Sequence[float], outputs: Sequence[float],
+                       levels: Sequence[float]) -> float:
+    """RMS distance of the output samples from their nearest logic level."""
+    y = np.asarray(outputs, dtype=float)
+    level_array = np.asarray(levels, dtype=float)
+    if level_array.size == 0:
+        raise AnalysisError("need at least one level")
+    distances = np.min(np.abs(y[:, None] - level_array[None, :]), axis=1)
+    return float(np.sqrt(np.mean(distances**2)))
+
+
+__all__ = ["LevelAnalysis", "detect_levels", "quantization_error",
+           "staircase_monotonicity"]

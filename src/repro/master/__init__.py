@@ -1,0 +1,19 @@
+"""Master-equation solvers: state spaces, rate matrices, steady state, dynamics."""
+
+from .builder import RateMatrixBuilder, Transition
+from .dynamics import EvolutionResult, MasterEquationDynamics
+from .statespace import MAX_STATES, StateSpace, auto_state_space, build_state_space
+from .steadystate import MasterEquationSolver, SteadyStateSolution
+
+__all__ = [
+    "EvolutionResult",
+    "MAX_STATES",
+    "MasterEquationDynamics",
+    "MasterEquationSolver",
+    "RateMatrixBuilder",
+    "StateSpace",
+    "SteadyStateSolution",
+    "Transition",
+    "auto_state_space",
+    "build_state_space",
+]

@@ -1,0 +1,140 @@
+"""Assembly of the master-equation rate matrix.
+
+For every enumerated charge state and every elementary tunnel event the
+builder evaluates the orthodox rate and records a :class:`Transition`.  The
+collected transitions define
+
+* the generator matrix ``M`` with ``M[j, i]`` = rate from state ``i`` to state
+  ``j`` and ``M[i, i] = -sum_j M[j, i]`` (columns sum to zero), used by the
+  steady-state and dynamics solvers, and
+* per-junction bookkeeping needed to turn occupation probabilities into
+  electrical currents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..core.energy import EnergyModel, TunnelEvent
+from ..core.rates import orthodox_rate
+from ..errors import StateSpaceError
+from .statespace import StateSpace, auto_state_space
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A single allowed transition of the master equation.
+
+    Attributes
+    ----------
+    source_index, target_index:
+        Dense indices of the initial and final charge states.
+    junction_name:
+        Name of the junction the electron crosses.
+    electron_direction:
+        ``+1`` if the electron moves from the junction's ``node_a`` to
+        ``node_b``, ``-1`` for the reverse.
+    rate:
+        Orthodox tunnel rate in events per second.
+    delta_f:
+        Free-energy change of the event in joule.
+    """
+
+    source_index: int
+    target_index: int
+    junction_name: str
+    electron_direction: int
+    rate: float
+    delta_f: float
+
+
+class RateMatrixBuilder:
+    """Builds generator matrices for a circuit at a given temperature.
+
+    Parameters
+    ----------
+    circuit:
+        The single-electron circuit.
+    temperature:
+        Temperature in kelvin.
+    state_space:
+        Explicit state window; when omitted an automatic window around the
+        ground state is used (recomputed per operating point).
+    """
+
+    def __init__(self, circuit: Circuit, temperature: float,
+                 state_space: Optional[StateSpace] = None,
+                 extra_electrons: int = 3) -> None:
+        if temperature < 0.0:
+            raise StateSpaceError("temperature must be non-negative")
+        self.circuit = circuit
+        self.temperature = float(temperature)
+        self.model = EnergyModel(circuit)
+        self.extra_electrons = extra_electrons
+        self._explicit_space = state_space
+
+    def state_space(self, voltages: Optional[np.ndarray] = None,
+                    offsets: Optional[np.ndarray] = None) -> StateSpace:
+        """The state window used at the given operating point."""
+        if self._explicit_space is not None:
+            return self._explicit_space
+        return auto_state_space(self.model, extra_electrons=self.extra_electrons,
+                                voltages=voltages, offsets=offsets)
+
+    def transitions(self, space: Optional[StateSpace] = None,
+                    voltages: Optional[np.ndarray] = None,
+                    offsets: Optional[np.ndarray] = None) -> List[Transition]:
+        """Every allowed transition within the state window."""
+        if space is None:
+            space = self.state_space(voltages, offsets)
+        if voltages is None:
+            voltages = self.model.system.source_voltage_vector()
+        events = self.model.events()
+        found: List[Transition] = []
+        for source_index, configuration in enumerate(space.states):
+            electrons = np.array(configuration, dtype=np.int64)
+            potentials = self.model.island_potentials(electrons, voltages, offsets)
+            for event in events:
+                target = self.model.apply_event(electrons, event)
+                target_key = tuple(int(v) for v in target)
+                if target_key not in space.index:
+                    continue
+                delta_f = self.model.free_energy_change_from_potentials(
+                    potentials, event, voltages)
+                rate = orthodox_rate(delta_f, event.junction.resistance,
+                                     self.temperature)
+                if rate <= 0.0:
+                    continue
+                found.append(Transition(
+                    source_index=source_index,
+                    target_index=space.index[target_key],
+                    junction_name=event.junction.name,
+                    electron_direction=event.direction,
+                    rate=rate,
+                    delta_f=delta_f,
+                ))
+        return found
+
+    def generator_matrix(self, space: Optional[StateSpace] = None,
+                         voltages: Optional[np.ndarray] = None,
+                         offsets: Optional[np.ndarray] = None
+                         ) -> Tuple[np.ndarray, List[Transition], StateSpace]:
+        """Generator matrix ``M`` (columns sum to zero), transitions and window.
+
+        ``dp/dt = M p`` with ``p`` the vector of state probabilities.
+        """
+        if space is None:
+            space = self.state_space(voltages, offsets)
+        transitions = self.transitions(space, voltages, offsets)
+        matrix = np.zeros((space.size, space.size))
+        for transition in transitions:
+            matrix[transition.target_index, transition.source_index] += transition.rate
+            matrix[transition.source_index, transition.source_index] -= transition.rate
+        return matrix, transitions, space
+
+
+__all__ = ["Transition", "RateMatrixBuilder"]

@@ -1,0 +1,223 @@
+"""Time evolution of the single-electron master equation.
+
+``dp/dt = M p`` is a small, stiff linear system.  For the window sizes used
+here (tens to a few hundred states) the matrix exponential is both exact and
+fast, so the propagator is evaluated with ``scipy.linalg.expm`` on a user
+supplied time grid.  The module also exposes relaxation-time extraction (the
+slowest non-zero eigenvalue of ``M``), which quantifies how fast a
+single-electron node settles after a switching event — one ingredient of the
+speed-limit experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import expm
+
+from ..circuit.netlist import Circuit
+from ..constants import E_CHARGE
+from ..errors import SolverError
+from .builder import RateMatrixBuilder, Transition
+from .statespace import StateSpace
+
+
+@dataclass
+class EvolutionResult:
+    """Result of a master-equation time evolution.
+
+    Attributes
+    ----------
+    times:
+        Time grid in seconds.
+    probabilities:
+        Array of shape ``(len(times), state_count)``; each row sums to one.
+    space:
+        The charge-state window.
+    mean_electrons:
+        Array of shape ``(len(times), island_count)`` with the expected
+        electron number per island.
+    junction_currents:
+        Instantaneous expected conventional current per junction, shape
+        ``(len(times), junction_count)``; column order follows
+        ``junction_names``.
+    junction_names:
+        Names of the junctions, aligning with ``junction_currents`` columns.
+    """
+
+    times: np.ndarray
+    probabilities: np.ndarray
+    space: StateSpace
+    mean_electrons: np.ndarray
+    junction_currents: np.ndarray
+    junction_names: List[str]
+
+    def current(self, junction_name: str) -> np.ndarray:
+        """Time series of the expected current through one junction."""
+        try:
+            column = self.junction_names.index(junction_name)
+        except ValueError:
+            raise SolverError(
+                f"unknown junction {junction_name!r}; known: {self.junction_names}"
+            ) from None
+        return self.junction_currents[:, column]
+
+    def final_probabilities(self) -> np.ndarray:
+        """Probability vector at the last time point."""
+        return self.probabilities[-1]
+
+
+class MasterEquationDynamics:
+    """Transient master-equation solver.
+
+    Parameters
+    ----------
+    circuit:
+        The single-electron circuit.
+    temperature:
+        Temperature in kelvin.
+    extra_electrons:
+        Half-width of the automatic charge-state window.
+    """
+
+    def __init__(self, circuit: Circuit, temperature: float,
+                 extra_electrons: int = 3,
+                 state_space: Optional[StateSpace] = None) -> None:
+        self.circuit = circuit
+        self.temperature = float(temperature)
+        self.builder = RateMatrixBuilder(circuit, temperature,
+                                         state_space=state_space,
+                                         extra_electrons=extra_electrons)
+
+    def evolve(self, times: Sequence[float],
+               initial: Optional[Dict[Tuple[int, ...], float]] = None,
+               voltages: Optional[np.ndarray] = None,
+               offsets: Optional[np.ndarray] = None) -> EvolutionResult:
+        """Propagate the probability distribution over a time grid.
+
+        Parameters
+        ----------
+        times:
+            Strictly increasing time points (seconds); the first entry is the
+            initial time.
+        initial:
+            Mapping configuration -> probability.  Defaults to certainty in
+            the zero-temperature ground state.
+        """
+        times_array = np.asarray(times, dtype=float)
+        if times_array.ndim != 1 or times_array.size < 2:
+            raise SolverError("need at least two time points")
+        if np.any(np.diff(times_array) <= 0.0):
+            raise SolverError("time points must be strictly increasing")
+
+        matrix, transitions, space = self.builder.generator_matrix(
+            voltages=voltages, offsets=offsets)
+        probability = self._initial_vector(space, initial, voltages, offsets)
+
+        junction_names = [junction.name for junction in self.circuit.junctions()]
+        results = np.empty((times_array.size, space.size))
+        results[0] = probability
+        for position in range(1, times_array.size):
+            step = times_array[position] - times_array[position - 1]
+            propagator = expm(matrix * step)
+            probability = propagator @ probability
+            probability = np.clip(probability, 0.0, None)
+            total = probability.sum()
+            if total <= 0.0:
+                raise SolverError("probability vector collapsed to zero during evolution")
+            probability = probability / total
+            results[position] = probability
+
+        states = space.as_array()
+        mean_electrons = results @ states
+        currents = _instantaneous_currents(junction_names, transitions, results)
+        return EvolutionResult(
+            times=times_array,
+            probabilities=results,
+            space=space,
+            mean_electrons=mean_electrons,
+            junction_currents=currents,
+            junction_names=junction_names,
+        )
+
+    def relaxation_time(self, voltages: Optional[np.ndarray] = None,
+                        offsets: Optional[np.ndarray] = None,
+                        participation_tolerance: float = 1e-9) -> float:
+        """Relaxation time constant (s) from the ground state to the stationary state.
+
+        The generator is diagonalised and the initial condition (certainty in
+        the ground state) is expanded in its eigenmodes; the returned value is
+        ``-1 / Re(lambda)`` of the slowest decaying mode that actually
+        participates in the relaxation (modes with negligible overlap — e.g.
+        dynamics between unreachable corner states of the window — are
+        ignored).
+        """
+        from .steadystate import MasterEquationSolver
+
+        matrix, _, space = self.builder.generator_matrix(voltages=voltages,
+                                                         offsets=offsets)
+        steady = MasterEquationSolver(self.circuit, self.temperature,
+                                      state_space=space).solve(voltages=voltages,
+                                                               offsets=offsets)
+        # Restrict the dynamics to the states that actually carry stationary
+        # probability; the exponentially unlikely corner states of the window
+        # would otherwise contribute astronomically slow but irrelevant modes.
+        relevant = np.nonzero(steady.probabilities
+                              > participation_tolerance)[0]
+        if relevant.size < 2:
+            relevant = np.argsort(steady.probabilities)[-2:]
+        block = matrix[np.ix_(relevant, relevant)].copy()
+        # Re-close the restricted generator (drop the tiny leakage into the
+        # excluded states) so its zero mode is exact and the remaining
+        # eigenvalues are genuine relaxation rates within the relevant manifold.
+        np.fill_diagonal(block, 0.0)
+        np.fill_diagonal(block, -block.sum(axis=0))
+        eigenvalues = np.linalg.eigvals(block).real
+        relaxing = eigenvalues[eigenvalues < -1e-12]
+        if relaxing.size == 0:
+            raise SolverError("generator matrix has no participating relaxing eigenvalue")
+        slowest = float(relaxing.max())
+        return float(-1.0 / slowest)
+
+    def _initial_vector(self, space: StateSpace,
+                        initial: Optional[Dict[Tuple[int, ...], float]],
+                        voltages: Optional[np.ndarray],
+                        offsets: Optional[np.ndarray]) -> np.ndarray:
+        vector = np.zeros(space.size)
+        if initial is None:
+            ground = self.builder.model.ground_state(voltages=voltages, offsets=offsets)
+            key = tuple(int(v) for v in ground)
+            if key not in space.index:
+                raise SolverError(
+                    "ground state lies outside the state window; widen extra_electrons"
+                )
+            vector[space.index[key]] = 1.0
+            return vector
+        for configuration, weight in initial.items():
+            key = tuple(int(v) for v in configuration)
+            if key not in space.index:
+                raise SolverError(
+                    f"initial configuration {key} lies outside the state window"
+                )
+            vector[space.index[key]] = float(weight)
+        total = vector.sum()
+        if total <= 0.0:
+            raise SolverError("initial distribution must have positive total weight")
+        return vector / total
+
+
+def _instantaneous_currents(junction_names: List[str],
+                            transitions: List[Transition],
+                            probabilities: np.ndarray) -> np.ndarray:
+    currents = np.zeros((probabilities.shape[0], len(junction_names)))
+    column = {name: position for position, name in enumerate(junction_names)}
+    for transition in transitions:
+        flow = probabilities[:, transition.source_index] * transition.rate
+        currents[:, column[transition.junction_name]] += \
+            -transition.electron_direction * E_CHARGE * flow
+    return currents
+
+
+__all__ = ["MasterEquationDynamics", "EvolutionResult"]

@@ -1,0 +1,331 @@
+"""Steady-state solution of the single-electron master equation.
+
+The stationary probability vector ``p`` satisfies ``M p = 0`` with
+``sum(p) = 1``.  From ``p`` and the transition list the solver derives the
+observables that every experiment in the paper needs: junction currents,
+island occupation probabilities and mean island charges/potentials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..constants import E_CHARGE
+from ..errors import SolverError
+from .builder import RateMatrixBuilder, Transition
+from .statespace import StateSpace
+
+
+@dataclass
+class SteadyStateSolution:
+    """Stationary solution of the master equation at one operating point."""
+
+    circuit_name: str
+    temperature: float
+    space: StateSpace
+    probabilities: np.ndarray
+    transitions: List[Transition]
+    #: Conventional current (ampere) flowing from ``node_a`` to ``node_b`` of
+    #: each junction, keyed by junction name.
+    junction_currents: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def state_count(self) -> int:
+        """Number of charge states in the solution window."""
+        return self.space.size
+
+    def occupation_probability(self, configuration: Sequence[int]) -> float:
+        """Probability of a specific electron configuration (0 if outside window)."""
+        key = tuple(int(v) for v in configuration)
+        if key not in self.space.index:
+            return 0.0
+        return float(self.probabilities[self.space.index[key]])
+
+    def mean_electron_numbers(self) -> np.ndarray:
+        """Expectation value of the electron number on each island."""
+        states = self.space.as_array()
+        return states.T @ self.probabilities
+
+    def dominant_state(self) -> Tuple[Tuple[int, ...], float]:
+        """The most probable configuration and its probability."""
+        position = int(np.argmax(self.probabilities))
+        return self.space.states[position], float(self.probabilities[position])
+
+    def current(self, junction_name: str) -> float:
+        """Conventional current through a junction (``node_a`` -> ``node_b``), ampere."""
+        try:
+            return self.junction_currents[junction_name]
+        except KeyError:
+            raise SolverError(
+                f"unknown junction {junction_name!r}; known junctions: "
+                f"{sorted(self.junction_currents)}"
+            ) from None
+
+
+class MasterEquationSolver:
+    """Steady-state master-equation solver for a single-electron circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to solve.
+    temperature:
+        Temperature in kelvin.
+    extra_electrons:
+        Half-width of the automatic charge-state window.
+    state_space:
+        Optional explicit window overriding the automatic one.
+    """
+
+    def __init__(self, circuit: Circuit, temperature: float,
+                 extra_electrons: int = 3,
+                 state_space: Optional[StateSpace] = None) -> None:
+        self.circuit = circuit
+        self.temperature = float(temperature)
+        self.builder = RateMatrixBuilder(circuit, temperature,
+                                         state_space=state_space,
+                                         extra_electrons=extra_electrons)
+
+    def solve(self, voltages: Optional[np.ndarray] = None,
+              offsets: Optional[np.ndarray] = None) -> SteadyStateSolution:
+        """Solve for the stationary distribution at the current operating point."""
+        matrix, transitions, space = self.builder.generator_matrix(
+            voltages=voltages, offsets=offsets)
+        ground = self.builder.model.ground_state(voltages=voltages, offsets=offsets)
+        ground_key = tuple(int(v) for v in ground)
+        initial_index = space.index.get(ground_key, 0)
+        probabilities = _solve_stationary(matrix, initial_index)
+        currents = _junction_currents(self.circuit, transitions, probabilities)
+        return SteadyStateSolution(
+            circuit_name=self.circuit.name,
+            temperature=self.temperature,
+            space=space,
+            probabilities=probabilities,
+            transitions=transitions,
+            junction_currents=currents,
+        )
+
+    def current(self, junction_name: str,
+                voltages: Optional[np.ndarray] = None,
+                offsets: Optional[np.ndarray] = None) -> float:
+        """Convenience: stationary current through one junction, in ampere."""
+        return self.solve(voltages=voltages, offsets=offsets).current(junction_name)
+
+    def sweep_source(self, source: str, values: Sequence[float],
+                     junction_name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Sweep a voltage source and record one junction current.
+
+        Parameters
+        ----------
+        source:
+            Name of the voltage-source element (or source node) to sweep.
+        values:
+            Voltages to apply, in volt.
+        junction_name:
+            Junction whose current is recorded.
+
+        Returns
+        -------
+        (values, currents):
+            Arrays of applied voltages and stationary currents.
+        """
+        original = dict(self.circuit.source_voltages())
+        currents = np.empty(len(values))
+        try:
+            for position, value in enumerate(values):
+                self.circuit.set_source_voltage(source, float(value))
+                currents[position] = self.solve().current(junction_name)
+        finally:
+            for node_name, voltage in original.items():
+                if node_name != "gnd":
+                    self.circuit.set_source_voltage(node_name, voltage)
+        return np.asarray(values, dtype=float), currents
+
+
+def _solve_stationary(matrix: np.ndarray, initial_index: int = 0) -> np.ndarray:
+    """Stationary distribution of a (possibly reducible) generator matrix.
+
+    At low temperatures many uphill rates underflow to zero, so the Markov
+    chain on the enumerated window is *reducible*: some states are transient
+    and there may be one or several closed (recurrent) classes.  The physical
+    stationary state is then determined by where the dynamics starting from
+    the ground state ends up.  The solver therefore
+
+    1. restricts the chain to states forward-reachable from ``initial_index``,
+    2. identifies the closed communicating classes among them,
+    3. solves the balance equations inside each closed class, and
+    4. weights the classes by the probability of being absorbed into them when
+       starting from ``initial_index``.
+
+    For an irreducible chain this reduces to the textbook ``M p = 0`` with
+    normalisation.
+    """
+    size = matrix.shape[0]
+    if size == 0:
+        raise SolverError("empty state space")
+    if size == 1:
+        return np.array([1.0])
+    if not 0 <= initial_index < size:
+        raise SolverError(f"initial state index {initial_index} out of range")
+
+    adjacency = matrix > 0.0
+    np.fill_diagonal(adjacency, False)
+
+    reachable = _forward_reachable(adjacency, initial_index)
+    reachable_list = sorted(reachable)
+    local = {state: position for position, state in enumerate(reachable_list)}
+    sub_adjacency = adjacency[np.ix_(reachable_list, reachable_list)]
+    classes = _closed_classes(sub_adjacency)
+
+    probabilities = np.zeros(size)
+    if len(classes) == 1 and len(classes[0]) == len(reachable_list):
+        # Irreducible on the reachable set: single linear solve.
+        block = matrix[np.ix_(reachable_list, reachable_list)]
+        probabilities[reachable_list] = _irreducible_stationary(block)
+        return probabilities
+
+    weights = _absorption_weights(matrix, reachable_list, classes,
+                                  local[initial_index])
+    for class_states, weight in zip(classes, weights):
+        if weight <= 0.0:
+            continue
+        global_states = [reachable_list[position] for position in class_states]
+        block = matrix[np.ix_(global_states, global_states)]
+        # Within a closed class the generator restricted to the class is a
+        # proper generator (no leakage), so the plain stationary solve applies.
+        probabilities[global_states] += weight * _irreducible_stationary(block)
+    total = probabilities.sum()
+    if total <= 0.0:
+        raise SolverError("stationary distribution sums to zero")
+    return probabilities / total
+
+
+def _forward_reachable(adjacency: np.ndarray, start: int) -> set:
+    """Indices reachable from ``start`` following ``adjacency[j, i]`` edges i->j."""
+    reachable = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        successors = np.nonzero(adjacency[:, node])[0]
+        for successor in successors:
+            state = int(successor)
+            if state not in reachable:
+                reachable.add(state)
+                frontier.append(state)
+    return reachable
+
+
+def _closed_classes(adjacency: np.ndarray) -> List[List[int]]:
+    """Closed communicating classes of the sub-chain described by ``adjacency``.
+
+    ``adjacency[j, i]`` is True when a direct transition i -> j exists.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    size = adjacency.shape[0]
+    graph.add_nodes_from(range(size))
+    sources, targets = np.nonzero(adjacency.T)
+    graph.add_edges_from(zip(sources.tolist(), targets.tolist()))
+    closed: List[List[int]] = []
+    for component in nx.strongly_connected_components(graph):
+        members = set(component)
+        is_closed = True
+        for node in members:
+            for successor in graph.successors(node):
+                if successor not in members:
+                    is_closed = False
+                    break
+            if not is_closed:
+                break
+        if is_closed:
+            closed.append(sorted(members))
+    if not closed:
+        raise SolverError("no closed communicating class found")
+    return closed
+
+
+def _absorption_weights(matrix: np.ndarray, reachable_list: List[int],
+                        classes: List[List[int]], initial_local: int) -> List[float]:
+    """Probability of ending up in each closed class when starting from one state."""
+    class_of: Dict[int, int] = {}
+    for class_index, members in enumerate(classes):
+        for member in members:
+            class_of[member] = class_index
+
+    transient = [position for position in range(len(reachable_list))
+                 if position not in class_of]
+    if initial_local in class_of:
+        weights = [0.0] * len(classes)
+        weights[class_of[initial_local]] = 1.0
+        return weights
+
+    # Solve the absorption problem on the transient states: for each closed
+    # class c, B[t, c] = probability of absorption into c starting from t.
+    transient_global = [reachable_list[position] for position in transient]
+    transient_index = {position: row for row, position in enumerate(transient)}
+    generator_tt = matrix[np.ix_(transient_global, transient_global)]
+    absorption = np.zeros((len(transient), len(classes)))
+    for class_index, members in enumerate(classes):
+        member_global = [reachable_list[position] for position in members]
+        rates_to_class = matrix[np.ix_(member_global, transient_global)].sum(axis=0)
+        absorption[:, class_index] = rates_to_class
+    try:
+        weights_matrix = np.linalg.solve(-generator_tt.T, absorption)
+    except np.linalg.LinAlgError as exc:
+        raise SolverError("absorption problem is singular") from exc
+    row = weights_matrix[transient_index[initial_local]]
+    row = np.clip(row, 0.0, None)
+    total = row.sum()
+    if total <= 0.0:
+        raise SolverError("absorption probabilities sum to zero")
+    return list(row / total)
+
+
+def _irreducible_stationary(block: np.ndarray) -> np.ndarray:
+    """Stationary vector of an irreducible generator block (columns sum to ~0)."""
+    size = block.shape[0]
+    if size == 1:
+        return np.array([1.0])
+    augmented = block.copy()
+    augmented[-1, :] = 1.0
+    rhs = np.zeros(size)
+    rhs[-1] = 1.0
+    try:
+        probabilities = np.linalg.solve(augmented, rhs)
+    except np.linalg.LinAlgError:
+        _, _, vh = np.linalg.svd(block)
+        probabilities = vh[-1]
+        if probabilities.sum() < 0:
+            probabilities = -probabilities
+    if np.any(~np.isfinite(probabilities)):
+        raise SolverError("stationary solve produced non-finite probabilities")
+    probabilities = np.clip(probabilities, 0.0, None)
+    total = probabilities.sum()
+    if total <= 0.0:
+        raise SolverError("stationary distribution sums to zero")
+    return probabilities / total
+
+
+def _junction_currents(circuit: Circuit, transitions: List[Transition],
+                       probabilities: np.ndarray) -> Dict[str, float]:
+    """Conventional current from ``node_a`` to ``node_b`` for every junction.
+
+    An electron hopping from ``node_a`` to ``node_b`` (direction ``+1``)
+    carries charge ``-e`` in that direction, i.e. a conventional current
+    ``-e * rate`` from ``node_a`` to ``node_b``.
+    """
+    currents: Dict[str, float] = {junction.name: 0.0
+                                  for junction in circuit.junctions()}
+    for transition in transitions:
+        flow = transition.rate * probabilities[transition.source_index]
+        currents[transition.junction_name] += \
+            -transition.electron_direction * E_CHARGE * flow
+    return currents
+
+
+__all__ = ["MasterEquationSolver", "SteadyStateSolution"]

@@ -1,0 +1,33 @@
+"""Kinetic Monte-Carlo simulation of single-electron circuits (SIMON-like engine)."""
+
+from .cotunneling import enumerate_cotunnel_candidates, intermediate_energies
+from .events import CotunnelCandidate, TrapCandidate, TunnelCandidate
+from .kernel import Candidate, KernelStep, MonteCarloKernel
+from .observables import (
+    CurrentEstimate,
+    EventRecord,
+    OccupationStatistics,
+    TrajectoryResult,
+    block_average,
+)
+from .simulator import MonteCarloSimulator
+from .state import SimulationState, initial_state
+
+__all__ = [
+    "Candidate",
+    "CotunnelCandidate",
+    "CurrentEstimate",
+    "EventRecord",
+    "KernelStep",
+    "MonteCarloKernel",
+    "MonteCarloSimulator",
+    "OccupationStatistics",
+    "SimulationState",
+    "TrajectoryResult",
+    "TrapCandidate",
+    "TunnelCandidate",
+    "block_average",
+    "enumerate_cotunnel_candidates",
+    "initial_state",
+    "intermediate_energies",
+]

@@ -1,0 +1,65 @@
+"""Enumeration of co-tunnelling channels.
+
+Inelastic co-tunnelling moves an electron coherently through two junctions
+that share an island, even when both individual steps are forbidden by the
+Coulomb blockade.  It dominates transport deep inside the blockade region and
+is precisely the kind of "higher-order tunnelling effect" the paper notes is
+missing from SPICE macro-models (§4).  The Monte-Carlo engine treats each
+co-tunnelling channel as one composite event with the second-order rate of
+:func:`repro.core.rates.cotunneling_rate`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..circuit.netlist import Circuit
+from ..core.energy import EnergyModel, TunnelEvent
+from .events import CotunnelCandidate
+
+
+def enumerate_cotunnel_candidates(circuit: Circuit,
+                                  model: EnergyModel) -> List[CotunnelCandidate]:
+    """All ordered co-tunnelling channels of a circuit.
+
+    A channel is an ordered pair of elementary events ``(first, second)``
+    such that the first event deposits an electron on an island and the second
+    event removes an electron from the *same* island through a *different*
+    junction.  Both traversal directions of every junction pair are generated;
+    energetically forbidden channels are simply assigned a zero rate at
+    simulation time.
+    """
+    island_names = set(model.system.island_index)
+    candidates: List[CotunnelCandidate] = []
+    events = model.events()
+    for first in events:
+        target = first.target_node
+        if target not in island_names:
+            continue
+        for second in events:
+            if second.junction.name == first.junction.name:
+                continue
+            if second.source_node != target:
+                continue
+            candidates.append(CotunnelCandidate(first=first, second=second))
+    return candidates
+
+
+def intermediate_energies(model: EnergyModel, electrons, candidate: CotunnelCandidate,
+                          voltages=None, offsets=None) -> Tuple[float, float]:
+    """Energy costs of the two virtual intermediate states of a channel.
+
+    Returns ``(E1, E2)`` where ``E1`` is the cost of executing the *first*
+    elementary event from the initial configuration (electron briefly on the
+    island) and ``E2`` the cost of executing the *second* elementary event
+    first (hole briefly on the island).  Both must be positive for the
+    co-tunnelling picture to apply; the rate function returns zero otherwise.
+    """
+    first_cost = model.free_energy_change(electrons, candidate.first,
+                                          voltages, offsets)
+    second_cost = model.free_energy_change(electrons, candidate.second,
+                                           voltages, offsets)
+    return first_cost, second_cost
+
+
+__all__ = ["enumerate_cotunnel_candidates", "intermediate_energies"]

@@ -1,0 +1,178 @@
+"""The kinetic Monte-Carlo kernel: rate evaluation and event selection.
+
+The kernel implements the classic rejection-free (Gillespie / BKL) algorithm:
+
+1. enumerate every possible event from the current state and its rate,
+2. draw the waiting time from an exponential distribution with the total rate,
+3. pick one event with probability proportional to its rate and apply it.
+
+The kernel is deliberately separated from the user-facing
+:class:`~repro.montecarlo.simulator.MonteCarloSimulator` so the same stepping
+machinery can be reused by specialised drivers (e.g. the RNG bit sampler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..core.energy import EnergyModel
+from ..core.rates import cotunneling_rate, orthodox_rate
+from ..errors import SimulationError
+from .cotunneling import enumerate_cotunnel_candidates
+from .events import CotunnelCandidate, TrapCandidate, TunnelCandidate
+from .state import SimulationState
+
+Candidate = Union[TunnelCandidate, CotunnelCandidate, TrapCandidate]
+
+
+@dataclass
+class KernelStep:
+    """Outcome of one kinetic Monte-Carlo step."""
+
+    waiting_time: float
+    candidate: Candidate
+    total_rate: float
+
+
+class MonteCarloKernel:
+    """Rate evaluation and stochastic event selection for one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit being simulated.
+    temperature:
+        Temperature in kelvin.
+    rng:
+        NumPy random generator (the simulator owns the seed policy).
+    include_cotunneling:
+        Whether second-order (co-tunnelling) channels are simulated.
+    """
+
+    def __init__(self, circuit: Circuit, temperature: float,
+                 rng: np.random.Generator,
+                 include_cotunneling: bool = False) -> None:
+        if temperature < 0.0:
+            raise SimulationError("temperature must be non-negative")
+        self.circuit = circuit
+        self.temperature = float(temperature)
+        self.rng = rng
+        self.include_cotunneling = include_cotunneling
+        self.model = EnergyModel(circuit)
+        self.tunnel_candidates = [TunnelCandidate(event)
+                                  for event in self.model.events()]
+        self.cotunnel_candidates: List[CotunnelCandidate] = (
+            enumerate_cotunnel_candidates(circuit, self.model)
+            if include_cotunneling else []
+        )
+        self.traps = circuit.charge_traps()
+        self._static_offsets = self.model.system.offset_charge_vector()
+
+    # ------------------------------------------------------------------ rates
+
+    def effective_offsets(self, state: SimulationState) -> np.ndarray:
+        """Island offset charges including the contribution of occupied traps."""
+        offsets = np.array(self.model.system.offset_charge_vector(), dtype=float)
+        for trap in self.traps:
+            if state.trap_occupancy.get(trap.name, False):
+                offsets[self.model.island_index(trap.island)] += trap.coupling
+        return offsets
+
+    def candidate_rates(self, state: SimulationState
+                        ) -> Tuple[List[Candidate], np.ndarray]:
+        """All candidates and their rates from the current state."""
+        offsets = self.effective_offsets(state)
+        voltages = self.model.system.source_voltage_vector()
+        potentials = self.model.island_potentials(state.electrons, voltages, offsets)
+        candidates: List[Candidate] = []
+        rates: List[float] = []
+
+        for candidate in self.tunnel_candidates:
+            delta_f = self.model.free_energy_change_from_potentials(
+                potentials, candidate.event, voltages)
+            rate = orthodox_rate(delta_f, candidate.event.junction.resistance,
+                                 self.temperature)
+            if rate > 0.0:
+                candidates.append(candidate)
+                rates.append(rate)
+
+        for candidate in self.cotunnel_candidates:
+            rate = self._cotunnel_rate(state, candidate, voltages, offsets)
+            if rate > 0.0:
+                candidates.append(candidate)
+                rates.append(rate)
+
+        for trap in self.traps:
+            occupied = state.trap_occupancy.get(trap.name, False)
+            if occupied:
+                candidates.append(TrapCandidate(trap, capture=False))
+                rates.append(1.0 / trap.emission_time)
+            else:
+                candidates.append(TrapCandidate(trap, capture=True))
+                rates.append(1.0 / trap.capture_time)
+
+        return candidates, np.array(rates, dtype=float)
+
+    def _cotunnel_rate(self, state: SimulationState, candidate: CotunnelCandidate,
+                       voltages: np.ndarray, offsets: np.ndarray) -> float:
+        first_cost = self.model.free_energy_change(state.electrons, candidate.first,
+                                                   voltages, offsets)
+        intermediate = self.model.apply_event(state.electrons, candidate.first)
+        second_from_intermediate = self.model.free_energy_change(
+            intermediate, candidate.second, voltages, offsets)
+        total = first_cost + second_from_intermediate
+        # Cost of the opposite ordering (second event first) as the other
+        # virtual state energy.
+        second_first_cost = self.model.free_energy_change(state.electrons,
+                                                          candidate.second,
+                                                          voltages, offsets)
+        return cotunneling_rate(
+            total,
+            intermediate_energy_1=first_cost,
+            intermediate_energy_2=second_first_cost,
+            resistance_1=candidate.first.junction.resistance,
+            resistance_2=candidate.second.junction.resistance,
+            temperature=self.temperature,
+        )
+
+    # ------------------------------------------------------------------ steps
+
+    def step(self, state: SimulationState,
+             max_waiting_time: Optional[float] = None) -> Optional[KernelStep]:
+        """Execute one kinetic Monte-Carlo step in place.
+
+        Returns ``None`` when no event has a positive rate (a completely
+        blockaded circuit at zero temperature) or when the drawn waiting time
+        exceeds ``max_waiting_time`` (in which case the state only advances in
+        time and nothing is applied).
+        """
+        candidates, rates = self.candidate_rates(state)
+        total_rate = float(rates.sum()) if rates.size else 0.0
+        if total_rate <= 0.0:
+            if max_waiting_time is not None:
+                state.time += max_waiting_time
+            return None
+
+        waiting = float(self.rng.exponential(1.0 / total_rate))
+        if max_waiting_time is not None and waiting > max_waiting_time:
+            state.time += max_waiting_time
+            return None
+
+        threshold = self.rng.uniform(0.0, total_rate)
+        cumulative = np.cumsum(rates)
+        index = int(np.searchsorted(cumulative, threshold, side="right"))
+        index = min(index, len(candidates) - 1)
+        chosen = candidates[index]
+
+        state.time += waiting
+        chosen.apply(state, self.model)
+        state.event_count += 1
+        return KernelStep(waiting_time=waiting, candidate=chosen,
+                          total_rate=total_rate)
+
+
+__all__ = ["MonteCarloKernel", "KernelStep", "Candidate"]

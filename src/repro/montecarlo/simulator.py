@@ -1,0 +1,239 @@
+"""User-facing kinetic Monte-Carlo simulator (the package's SIMON equivalent).
+
+:class:`MonteCarloSimulator` runs transient trajectories and estimates
+stationary currents for arbitrary single-electron circuits, with optional
+co-tunnelling channels and background-charge traps.  It is the "detailed
+Monte-Carlo simulator that captures all the necessary physics but is limited
+in terms of circuit size" from the paper's §4; the complementary fast/compact
+path is :mod:`repro.compact`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..circuit.validation import validate_circuit
+from ..constants import E_CHARGE
+from ..errors import SimulationError
+from .kernel import MonteCarloKernel
+from .observables import (
+    CurrentEstimate,
+    EventRecord,
+    OccupationStatistics,
+    TrajectoryResult,
+    block_average,
+)
+from .state import SimulationState, initial_state
+
+
+class MonteCarloSimulator:
+    """Kinetic Monte-Carlo simulation of a single-electron circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate.  It is validated on construction; hard
+        violations raise immediately so that a long run cannot silently
+        produce nonsense.
+    temperature:
+        Temperature in kelvin.
+    seed:
+        Seed for the internal random generator (``None`` gives a fresh
+        non-deterministic stream).
+    include_cotunneling:
+        Whether inelastic co-tunnelling channels are included.
+    validate:
+        Set to ``False`` to skip circuit validation (used by tests that
+        deliberately build pathological circuits).
+    """
+
+    def __init__(self, circuit: Circuit, temperature: float,
+                 seed: Optional[int] = None,
+                 include_cotunneling: bool = False,
+                 validate: bool = True) -> None:
+        if validate:
+            validate_circuit(circuit).raise_if_invalid()
+        self.circuit = circuit
+        self.temperature = float(temperature)
+        self.rng = np.random.default_rng(seed)
+        self.kernel = MonteCarloKernel(circuit, temperature, self.rng,
+                                       include_cotunneling=include_cotunneling)
+
+    # ------------------------------------------------------------------- runs
+
+    def new_state(self, electrons: Optional[Sequence[int]] = None) -> SimulationState:
+        """A fresh simulation state (ground-state electrons by default)."""
+        electron_array = None if electrons is None else np.asarray(electrons,
+                                                                   dtype=np.int64)
+        return initial_state(self.circuit, self.kernel.model, electron_array)
+
+    def run(self, max_events: Optional[int] = None,
+            duration: Optional[float] = None,
+            state: Optional[SimulationState] = None,
+            record_events: bool = False,
+            occupation: Optional[OccupationStatistics] = None) -> TrajectoryResult:
+        """Run a trajectory until an event budget or a time budget is exhausted.
+
+        Parameters
+        ----------
+        max_events:
+            Stop after this many executed events.
+        duration:
+            Stop once the simulated time advances past this many seconds.
+            At least one of ``max_events``/``duration`` must be given.
+        state:
+            Continue from an existing state instead of a fresh one.
+        record_events:
+            Keep a per-event record (time, label, configuration) in the
+            result.  Off by default because long runs produce millions of
+            events.
+        occupation:
+            Optional :class:`OccupationStatistics` accumulator filled with
+            dwell times.
+        """
+        if max_events is None and duration is None:
+            raise SimulationError("specify max_events and/or duration")
+        if state is None:
+            state = self.new_state()
+
+        start_time = state.time
+        start_events = state.event_count
+        records: List[EventRecord] = []
+        trap_flips = 0
+        stall_strikes = 0
+
+        while True:
+            if max_events is not None and state.event_count - start_events >= max_events:
+                break
+            if duration is not None and state.time - start_time >= duration:
+                break
+            remaining = None
+            if duration is not None:
+                remaining = duration - (state.time - start_time)
+            previous_electrons = tuple(int(v) for v in state.electrons)
+            previous_time = state.time
+            step = self.kernel.step(state, max_waiting_time=remaining)
+            if occupation is not None:
+                occupation.record(previous_electrons, state.time - previous_time)
+            if step is None:
+                if duration is not None:
+                    # Time budget consumed (possibly by a blockade); done.
+                    if state.time - start_time >= duration:
+                        break
+                stall_strikes += 1
+                if stall_strikes > 3:
+                    # Completely blockaded at T = 0 with no time budget left to
+                    # burn: the trajectory cannot advance further.
+                    break
+                continue
+            stall_strikes = 0
+            if step.candidate.label.startswith("trap:"):
+                trap_flips += 1
+            if record_events:
+                records.append(EventRecord(
+                    time=state.time,
+                    label=step.candidate.label,
+                    electrons=tuple(int(v) for v in state.electrons),
+                ))
+
+        return TrajectoryResult(
+            duration=state.time - start_time,
+            event_count=state.event_count - start_events,
+            electron_transfers=dict(state.electron_transfers),
+            final_electrons=tuple(int(v) for v in state.electrons),
+            records=records,
+            trap_flips=trap_flips,
+        )
+
+    # -------------------------------------------------------------- stationary
+
+    def stationary_current(self, junction_name: str,
+                           max_events: int = 20_000,
+                           warmup_events: int = 1_000,
+                           blocks: int = 10) -> CurrentEstimate:
+        """Estimate the stationary current through one junction.
+
+        The estimator counts the net electron transfer through the junction
+        over the post-warm-up part of a single long trajectory, split into
+        ``blocks`` equal event blocks for a standard-error estimate.
+
+        Parameters
+        ----------
+        junction_name:
+            Junction whose conventional current (``node_a`` -> ``node_b``) is
+            estimated.
+        max_events:
+            Total number of events after warm-up.
+        warmup_events:
+            Events discarded at the start to forget the initial condition.
+        blocks:
+            Number of blocks for the error estimate.
+        """
+        if not self.circuit.has_element(junction_name):
+            raise SimulationError(f"unknown junction {junction_name!r}")
+        if blocks < 2:
+            raise SimulationError("need at least 2 blocks for an error estimate")
+        state = self.new_state()
+        if warmup_events > 0:
+            self.run(max_events=warmup_events, state=state)
+
+        per_block = max(1, max_events // blocks)
+        charges: List[float] = []
+        durations: List[float] = []
+        total_events = 0
+        for _ in range(blocks):
+            before_transfer = state.electron_transfers[junction_name]
+            before_time = state.time
+            result = self.run(max_events=per_block, state=state)
+            total_events += result.event_count
+            transferred = state.electron_transfers[junction_name] - before_transfer
+            elapsed = state.time - before_time
+            charges.append(-transferred * E_CHARGE)
+            durations.append(elapsed)
+            if result.event_count == 0:
+                # Blockaded: no more events will ever occur.
+                break
+
+        usable = [(charge, dt) for charge, dt in zip(charges, durations) if dt > 0.0]
+        if not usable:
+            return CurrentEstimate(mean=0.0, stderr=0.0, blocks=0, duration=0.0,
+                                   events=total_events)
+        mean, stderr, block_count = block_average(
+            [charge for charge, _ in usable], [dt for _, dt in usable])
+        return CurrentEstimate(
+            mean=mean,
+            stderr=stderr,
+            blocks=block_count,
+            duration=float(sum(dt for _, dt in usable)),
+            events=total_events,
+        )
+
+    def sweep_source(self, source: str, values: Sequence[float],
+                     junction_name: str, max_events: int = 20_000,
+                     warmup_events: int = 1_000) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sweep a voltage source and estimate the current at every point.
+
+        Returns ``(values, currents, stderrs)``.
+        """
+        original = dict(self.circuit.source_voltages())
+        currents = np.empty(len(values))
+        errors = np.empty(len(values))
+        try:
+            for position, value in enumerate(values):
+                self.circuit.set_source_voltage(source, float(value))
+                estimate = self.stationary_current(junction_name,
+                                                   max_events=max_events,
+                                                   warmup_events=warmup_events)
+                currents[position] = estimate.mean
+                errors[position] = estimate.stderr
+        finally:
+            for node_name, voltage in original.items():
+                if node_name != "gnd":
+                    self.circuit.set_source_voltage(node_name, voltage)
+        return np.asarray(values, dtype=float), currents, errors
+
+
+__all__ = ["MonteCarloSimulator"]

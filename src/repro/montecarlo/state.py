@@ -1,0 +1,79 @@
+"""Mutable simulation state of the kinetic Monte-Carlo engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..core.energy import EnergyModel
+
+
+@dataclass
+class SimulationState:
+    """Everything that evolves during a kinetic Monte-Carlo run.
+
+    Attributes
+    ----------
+    time:
+        Simulated time in seconds.
+    electrons:
+        Electron-number vector over the circuit's islands.
+    trap_occupancy:
+        Occupation (True = holds an electron) of every charge trap, keyed by
+        trap name.
+    event_count:
+        Total number of executed events (tunnelling + trap transitions).
+    electron_transfers:
+        Net number of electrons that crossed each junction from ``node_a`` to
+        ``node_b`` (signed), keyed by junction name.  Dividing by the elapsed
+        time and multiplying by ``-e`` yields the average conventional
+        current.
+    """
+
+    time: float
+    electrons: np.ndarray
+    trap_occupancy: Dict[str, bool] = field(default_factory=dict)
+    event_count: int = 0
+    electron_transfers: Dict[str, float] = field(default_factory=dict)
+
+    def copy(self) -> "SimulationState":
+        """An independent snapshot of the state."""
+        return SimulationState(
+            time=self.time,
+            electrons=self.electrons.copy(),
+            trap_occupancy=dict(self.trap_occupancy),
+            event_count=self.event_count,
+            electron_transfers=dict(self.electron_transfers),
+        )
+
+
+def initial_state(circuit: Circuit, model: Optional[EnergyModel] = None,
+                  electrons: Optional[np.ndarray] = None) -> SimulationState:
+    """Build the starting state of a simulation.
+
+    Electron numbers default to the zero-temperature ground state; traps start
+    in their more probable stationary state so short runs are not biased by an
+    unlikely initial trap configuration.
+    """
+    if model is None:
+        model = EnergyModel(circuit)
+    if electrons is None:
+        electrons = model.ground_state()
+    trap_occupancy = {
+        trap.name: trap.occupancy_probability >= 0.5
+        for trap in circuit.charge_traps()
+    }
+    transfers = {junction.name: 0.0 for junction in circuit.junctions()}
+    return SimulationState(
+        time=0.0,
+        electrons=np.array(electrons, dtype=np.int64),
+        trap_occupancy=trap_occupancy,
+        event_count=0,
+        electron_transfers=transfers,
+    )
+
+
+__all__ = ["SimulationState", "initial_state"]

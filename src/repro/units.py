@@ -1,0 +1,136 @@
+"""Engineering-unit helpers.
+
+Single-electronics quantities live at awkward scales: capacitances of
+attofarads, currents of picoamperes, energies of micro-electron-volts.  These
+helpers keep numeric literals readable in examples, tests and benchmarks while
+the library itself always works in plain SI units (farad, volt, ampere,
+second, joule, kelvin).
+"""
+
+from __future__ import annotations
+
+from .constants import E_CHARGE
+
+# --- capacitance ---------------------------------------------------------
+
+def farad(value: float) -> float:
+    """Identity helper for symmetry with the scaled versions."""
+    return float(value)
+
+
+def femtofarad(value: float) -> float:
+    """Convert femtofarad to farad."""
+    return float(value) * 1e-15
+
+
+def attofarad(value: float) -> float:
+    """Convert attofarad to farad."""
+    return float(value) * 1e-18
+
+
+def zeptofarad(value: float) -> float:
+    """Convert zeptofarad to farad."""
+    return float(value) * 1e-21
+
+
+# --- voltage --------------------------------------------------------------
+
+def volt(value: float) -> float:
+    """Identity helper for symmetry with the scaled versions."""
+    return float(value)
+
+
+def millivolt(value: float) -> float:
+    """Convert millivolt to volt."""
+    return float(value) * 1e-3
+
+
+def microvolt(value: float) -> float:
+    """Convert microvolt to volt."""
+    return float(value) * 1e-6
+
+
+# --- current --------------------------------------------------------------
+
+def ampere(value: float) -> float:
+    """Identity helper for symmetry with the scaled versions."""
+    return float(value)
+
+
+def nanoampere(value: float) -> float:
+    """Convert nanoampere to ampere."""
+    return float(value) * 1e-9
+
+
+def picoampere(value: float) -> float:
+    """Convert picoampere to ampere."""
+    return float(value) * 1e-12
+
+
+# --- resistance -----------------------------------------------------------
+
+def ohm(value: float) -> float:
+    """Identity helper for symmetry with the scaled versions."""
+    return float(value)
+
+
+def kiloohm(value: float) -> float:
+    """Convert kiloohm to ohm."""
+    return float(value) * 1e3
+
+
+def megaohm(value: float) -> float:
+    """Convert megaohm to ohm."""
+    return float(value) * 1e6
+
+
+# --- time -----------------------------------------------------------------
+
+def second(value: float) -> float:
+    """Identity helper for symmetry with the scaled versions."""
+    return float(value)
+
+
+def nanosecond(value: float) -> float:
+    """Convert nanosecond to second."""
+    return float(value) * 1e-9
+
+
+def picosecond(value: float) -> float:
+    """Convert picosecond to second."""
+    return float(value) * 1e-12
+
+
+# --- length ---------------------------------------------------------------
+
+def nanometre(value: float) -> float:
+    """Convert nanometre to metre."""
+    return float(value) * 1e-9
+
+
+# --- charge ---------------------------------------------------------------
+
+def elementary_charges(value: float) -> float:
+    """Convert a charge expressed in units of ``e`` to coulomb.
+
+    Background (offset) charges are conventionally quoted as fractions of the
+    elementary charge, e.g. ``q0 = 0.25 e``.
+    """
+    return float(value) * E_CHARGE
+
+
+def coulomb_to_e(value: float) -> float:
+    """Convert a charge in coulomb to units of the elementary charge."""
+    return float(value) / E_CHARGE
+
+
+# --- energy ---------------------------------------------------------------
+
+def electronvolt(value: float) -> float:
+    """Convert electron-volt to joule."""
+    return float(value) * E_CHARGE
+
+
+def joule_to_ev(value: float) -> float:
+    """Convert joule to electron-volt."""
+    return float(value) / E_CHARGE

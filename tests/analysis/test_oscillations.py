@@ -1,0 +1,96 @@
+"""Tests for oscillation (period/amplitude/phase) extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_oscillations,
+    fundamental_component,
+    phase_shift_between,
+    refine_period_by_peaks,
+)
+from repro.errors import AnalysisError
+
+
+def make_signal(period=0.08, amplitude=2e-9, phase=0.7, offset=3e-9, points=240,
+                span=0.4):
+    x = np.linspace(0.0, span, points, endpoint=False)
+    y = offset + amplitude * np.cos(2.0 * np.pi * x / period + phase)
+    return x, y
+
+
+class TestFundamentalComponent:
+    def test_recovers_period_amplitude_phase(self):
+        x, y = make_signal()
+        period, amplitude, phase = fundamental_component(x, y)
+        assert period == pytest.approx(0.08, rel=0.01)
+        assert amplitude == pytest.approx(2e-9, rel=0.02)
+        assert phase == pytest.approx(0.7, abs=0.05)
+
+    def test_period_invariant_under_phase_shifts(self):
+        x, reference = make_signal(phase=0.0)
+        _, shifted = make_signal(phase=2.1)
+        assert fundamental_component(x, reference)[0] == pytest.approx(
+            fundamental_component(x, shifted)[0], rel=1e-6)
+
+    def test_amplitude_invariant_under_phase_shifts(self):
+        x, reference = make_signal(phase=0.0)
+        _, shifted = make_signal(phase=2.1)
+        assert fundamental_component(x, reference)[1] == pytest.approx(
+            fundamental_component(x, shifted)[1], rel=1e-3)
+
+    def test_constant_signal_rejected(self):
+        x = np.linspace(0.0, 1.0, 64)
+        with pytest.raises(AnalysisError):
+            fundamental_component(x, np.ones_like(x))
+
+    def test_non_uniform_grid_rejected(self):
+        x = np.array([0.0, 0.1, 0.15, 0.4, 0.6, 0.61, 0.7, 0.9])
+        with pytest.raises(AnalysisError):
+            fundamental_component(x, np.sin(x))
+
+    def test_too_short_record_rejected(self):
+        with pytest.raises(AnalysisError):
+            fundamental_component([0.0, 0.1], [0.0, 1.0])
+
+
+class TestAnalyzeOscillations:
+    def test_full_descriptor_set(self):
+        x, y = make_signal()
+        analysis = analyze_oscillations(x, y)
+        assert analysis.period == pytest.approx(0.08, rel=0.01)
+        assert analysis.peak_to_peak == pytest.approx(4e-9, rel=0.05)
+        assert analysis.mean == pytest.approx(3e-9, rel=0.01)
+        assert 0.0 <= analysis.phase_in_periods() < 1.0
+
+
+class TestPhaseShift:
+    def test_shift_measures_the_background_charge(self):
+        # A background charge q0 shifts the Id-Vg pattern by q0/Cg, i.e. a
+        # phase of 2 pi q0 / e.
+        x, reference = make_signal(phase=0.0)
+        _, shifted = make_signal(phase=0.6 * np.pi)
+        shift = phase_shift_between(x, reference, shifted)
+        assert shift == pytest.approx(0.6 * np.pi, abs=0.05)
+
+    def test_different_periods_rejected(self):
+        x, reference = make_signal(period=0.08)
+        _, other = make_signal(period=0.05)
+        with pytest.raises(AnalysisError):
+            phase_shift_between(x, reference, other)
+
+
+class TestPeakBasedPeriod:
+    def test_matches_fft_estimate(self):
+        x, y = make_signal(points=400)
+        assert refine_period_by_peaks(x, y) == pytest.approx(0.08, rel=0.03)
+
+    def test_requires_at_least_two_peaks(self):
+        x = np.linspace(0.0, 0.05, 50)
+        y = np.cos(2.0 * np.pi * x / 0.08)
+        with pytest.raises(AnalysisError):
+            refine_period_by_peaks(x, y)
+
+    def test_constant_signal_rejected(self):
+        with pytest.raises(AnalysisError):
+            refine_period_by_peaks(np.linspace(0, 1, 20), np.ones(20))

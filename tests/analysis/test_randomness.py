@@ -1,0 +1,98 @@
+"""Tests for the randomness battery, calibrated on known streams."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    approximate_entropy_test,
+    block_frequency_test,
+    longest_run_of_ones_test,
+    monobit_test,
+    run_randomness_battery,
+    runs_test,
+    serial_correlation_test,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def good_bits():
+    return np.random.default_rng(99).integers(0, 2, size=20_000)
+
+
+@pytest.fixture(scope="module")
+def biased_bits():
+    return (np.random.default_rng(7).uniform(size=20_000) < 0.7).astype(int)
+
+
+@pytest.fixture(scope="module")
+def periodic_bits():
+    return np.tile([0, 1], 10_000)
+
+
+class TestIndividualTests:
+    def test_monobit_passes_good_stream(self, good_bits):
+        assert monobit_test(good_bits) > 0.01
+
+    def test_monobit_rejects_biased_stream(self, biased_bits):
+        assert monobit_test(biased_bits) < 0.01
+
+    def test_runs_rejects_periodic_stream(self, periodic_bits):
+        assert runs_test(periodic_bits) < 0.01
+
+    def test_block_frequency_rejects_clustered_stream(self):
+        clustered = np.concatenate([np.ones(5000, dtype=int),
+                                    np.zeros(5000, dtype=int)])
+        assert block_frequency_test(clustered) < 0.01
+
+    def test_longest_run_passes_good_stream(self, good_bits):
+        assert longest_run_of_ones_test(good_bits) > 0.01
+
+    def test_serial_correlation_rejects_alternating_stream(self, periodic_bits):
+        assert serial_correlation_test(periodic_bits) < 0.01
+
+    def test_approximate_entropy_rejects_periodic_stream(self, periodic_bits):
+        assert approximate_entropy_test(periodic_bits) < 0.01
+
+    def test_approximate_entropy_passes_good_stream(self, good_bits):
+        assert approximate_entropy_test(good_bits) > 0.01
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(AnalysisError):
+            monobit_test([0, 1, 2])
+        with pytest.raises(AnalysisError):
+            monobit_test([])
+
+    def test_short_streams_rejected(self):
+        with pytest.raises(AnalysisError):
+            monobit_test([0, 1] * 10)
+        with pytest.raises(AnalysisError):
+            longest_run_of_ones_test([0, 1] * 100)
+
+
+class TestBattery:
+    def test_good_stream_passes_everything(self, good_bits):
+        report = run_randomness_battery(good_bits)
+        assert report.all_passed
+        assert report.pass_count == len(report.p_values)
+
+    def test_biased_stream_fails(self, biased_bits):
+        report = run_randomness_battery(biased_bits)
+        assert not report.all_passed
+        assert not report.passed["monobit"]
+
+    def test_summary_rows_format(self, good_bits):
+        report = run_randomness_battery(good_bits)
+        rows = report.summary_rows()
+        assert len(rows) == 6
+        assert all(verdict in ("PASS", "FAIL") for _, _, verdict in rows)
+
+    def test_false_rejection_rate_is_controlled(self):
+        # Calibration: at alpha = 1 %, a perfect source should rarely fail.
+        rng = np.random.default_rng(123)
+        failures = 0
+        trials = 20
+        for _ in range(trials):
+            report = run_randomness_battery(rng.integers(0, 2, size=5_000))
+            failures += 0 if report.all_passed else 1
+        assert failures <= 3

@@ -1,0 +1,71 @@
+"""Tests for charge-sensitivity arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    averaging_gain,
+    best_operating_point,
+    charge_resolution,
+    shot_noise_current,
+    transconductance,
+)
+from repro.constants import E_CHARGE
+from repro.errors import AnalysisError
+
+
+class TestShotNoise:
+    def test_formula(self):
+        assert shot_noise_current(1e-9, 1.0) == pytest.approx(
+            np.sqrt(2.0 * E_CHARGE * 1e-9))
+
+    def test_scales_with_bandwidth(self):
+        assert shot_noise_current(1e-9, 100.0) == pytest.approx(
+            10.0 * shot_noise_current(1e-9, 1.0))
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(AnalysisError):
+            shot_noise_current(1e-9, 0.0)
+
+
+class TestChargeResolution:
+    def test_better_transconductance_gives_better_resolution(self):
+        poor = charge_resolution(1e9, 1e-9)
+        good = charge_resolution(1e10, 1e-9)
+        assert good < poor
+
+    def test_zero_transconductance_is_blind(self):
+        assert charge_resolution(0.0, 1e-9) == np.inf
+
+    def test_sub_electron_resolution_for_typical_numbers(self):
+        # dI/dq ~ 10 nA per e = 10e-9/1.6e-19 A/C with 1 nA of current.
+        resolution = charge_resolution(10e-9 / E_CHARGE, 1e-9, bandwidth=1.0)
+        assert resolution < 1e-3
+
+
+class TestTransconductance:
+    def test_linear_sweep(self):
+        x = np.linspace(0.0, 1.0, 11)
+        slopes = transconductance(x, 3.0 * x)
+        assert np.allclose(slopes, 3.0)
+
+    def test_best_operating_point_of_a_sine(self):
+        x = np.linspace(0.0, 1.0, 401)
+        y = np.sin(2.0 * np.pi * x)
+        position, slope = best_operating_point(x, y)
+        assert slope == pytest.approx(2.0 * np.pi, rel=0.01)
+        # Steepest at the zero crossings.
+        assert min(abs(position - 0.0), abs(position - 0.5), abs(position - 1.0)) < 0.02
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(AnalysisError):
+            transconductance([0.0, 1.0], [0.0, 1.0, 2.0])
+
+
+class TestAveraging:
+    def test_square_root_law(self):
+        assert averaging_gain(100.0, 1.0) == pytest.approx(10.0)
+
+    def test_invalid_time(self):
+        with pytest.raises(AnalysisError):
+            averaging_gain(0.0)

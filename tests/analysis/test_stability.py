@@ -1,0 +1,63 @@
+"""Tests for charge-stability (Coulomb-diamond) diagrams."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compute_stability_diagram, theoretical_diamond
+from repro.compact import AnalyticSETModel
+from repro.constants import E_CHARGE
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def diagram():
+    model = AnalyticSETModel(temperature=0.5)
+    gate_voltages = np.linspace(0.0, 2.0 * model.gate_period, 80)
+    drain_voltages = np.linspace(-0.06, 0.06, 41)
+    return compute_stability_diagram(model, gate_voltages, drain_voltages), model
+
+
+class TestStabilityDiagram:
+    def test_shape(self, diagram):
+        result, _ = diagram
+        assert result.shape == (41, 80)
+
+    def test_blockade_fraction_is_substantial_at_low_temperature(self, diagram):
+        result, _ = diagram
+        fraction = result.blockade_fraction()
+        assert 0.1 < fraction < 0.9
+
+    def test_diamond_height_is_of_order_e_over_csigma(self, diagram):
+        # The exact diamond height depends on the capacitance lever arms; it
+        # must be of the order of e/C_sigma (here: between half and twice).
+        result, model = diagram
+        _, expected_height = theoretical_diamond(
+            model.gate_capacitance, model.total_capacitance)
+        measured = result.diamond_height()
+        assert 0.5 * expected_height < measured < 2.0 * expected_height
+
+    def test_diamond_width_matches_e_over_cg(self, diagram):
+        result, model = diagram
+        expected_width, _ = theoretical_diamond(model.gate_capacitance,
+                                                model.total_capacitance)
+        assert result.diamond_width() == pytest.approx(expected_width, rel=0.25)
+
+    def test_higher_temperature_shrinks_the_blockade_fraction(self):
+        gate_voltages = np.linspace(0.0, 0.16, 40)
+        drain_voltages = np.linspace(-0.06, 0.06, 21)
+        cold = compute_stability_diagram(AnalyticSETModel(temperature=0.5),
+                                         gate_voltages, drain_voltages)
+        warm = compute_stability_diagram(AnalyticSETModel(temperature=30.0),
+                                         gate_voltages, drain_voltages)
+        assert warm.blockade_fraction() < cold.blockade_fraction()
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(AnalysisError):
+            compute_stability_diagram(AnalyticSETModel(), [0.0], [0.0, 0.1])
+
+    def test_theoretical_diamond_values(self):
+        width, height = theoretical_diamond(2e-18, 4e-18)
+        assert width == pytest.approx(E_CHARGE / 2e-18)
+        assert height == pytest.approx(E_CHARGE / 4e-18)
+        with pytest.raises(AnalysisError):
+            theoretical_diamond(0.0, 1e-18)

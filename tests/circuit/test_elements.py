@@ -1,0 +1,83 @@
+"""Tests for circuit elements."""
+
+import pytest
+
+from repro.circuit.elements import Capacitor, ChargeTrap, TunnelJunction, VoltageSource
+from repro.constants import E_CHARGE, R_QUANTUM
+from repro.errors import CircuitError
+
+
+class TestTunnelJunction:
+    def test_valid_junction(self):
+        junction = TunnelJunction("J1", "a", "b", 1e-18, 1e6)
+        assert junction.capacitance == pytest.approx(1e-18)
+        assert junction.resistance == pytest.approx(1e6)
+        assert junction.is_orthodox
+
+    def test_low_resistance_is_not_orthodox(self):
+        junction = TunnelJunction("J1", "a", "b", 1e-18, 0.5 * R_QUANTUM)
+        assert not junction.is_orthodox
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(CircuitError):
+            TunnelJunction("J1", "a", "a", 1e-18, 1e6)
+
+    def test_rejects_zero_capacitance(self):
+        with pytest.raises(CircuitError):
+            TunnelJunction("J1", "a", "b", 0.0, 1e6)
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(CircuitError):
+            TunnelJunction("J1", "a", "b", 1e-18, -1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(CircuitError):
+            TunnelJunction("", "a", "b", 1e-18, 1e6)
+
+
+class TestCapacitor:
+    def test_valid_capacitor(self):
+        capacitor = Capacitor("C1", "gate", "dot", 2e-18)
+        assert capacitor.capacitance == pytest.approx(2e-18)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "x", "x", 1e-18)
+
+    def test_rejects_non_positive_capacitance(self):
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "a", "b", -1e-18)
+
+
+class TestVoltageSource:
+    def test_valid_source(self):
+        source = VoltageSource("VD", "drain", 0.04)
+        assert source.voltage == pytest.approx(0.04)
+
+    def test_negative_voltage_is_allowed(self):
+        assert VoltageSource("VD", "drain", -0.04).voltage == pytest.approx(-0.04)
+
+    def test_rejects_non_numeric_voltage(self):
+        with pytest.raises(CircuitError):
+            VoltageSource("VD", "drain", "high")  # type: ignore[arg-type]
+
+
+class TestChargeTrap:
+    def test_valid_trap(self):
+        trap = ChargeTrap("T1", "dot", 0.1 * E_CHARGE, 1e-6, 2e-6)
+        assert trap.island == "dot"
+        assert trap.occupancy_probability == pytest.approx((1 / 1e-6) / (1 / 1e-6 + 1 / 2e-6))
+
+    def test_symmetric_trap_is_half_occupied(self):
+        trap = ChargeTrap("T1", "dot", 0.1 * E_CHARGE, 1e-6, 1e-6)
+        assert trap.occupancy_probability == pytest.approx(0.5)
+
+    def test_rejects_zero_coupling(self):
+        with pytest.raises(CircuitError):
+            ChargeTrap("T1", "dot", 0.0, 1e-6, 1e-6)
+
+    def test_rejects_non_positive_times(self):
+        with pytest.raises(CircuitError):
+            ChargeTrap("T1", "dot", 0.1 * E_CHARGE, 0.0, 1e-6)
+        with pytest.raises(CircuitError):
+            ChargeTrap("T1", "dot", 0.1 * E_CHARGE, 1e-6, -1e-6)

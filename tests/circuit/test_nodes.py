@@ -1,0 +1,44 @@
+"""Tests for circuit nodes."""
+
+import pytest
+
+from repro.circuit.nodes import GROUND_NAME, Node, NodeKind, make_ground
+from repro.constants import E_CHARGE
+from repro.errors import CircuitError
+
+
+class TestNode:
+    def test_island_node(self):
+        node = Node("dot", NodeKind.ISLAND, offset_charge=0.1 * E_CHARGE)
+        assert node.is_island
+        assert not node.is_source
+        assert node.offset_charge == pytest.approx(0.1 * E_CHARGE)
+
+    def test_source_node(self):
+        node = Node("drain", NodeKind.SOURCE, voltage=0.05)
+        assert node.is_source
+        assert not node.is_island
+        assert node.voltage == pytest.approx(0.05)
+
+    def test_ground_node_is_a_source(self):
+        ground = make_ground()
+        assert ground.name == GROUND_NAME
+        assert ground.kind is NodeKind.GROUND
+        assert ground.is_source
+        assert ground.voltage == 0.0
+
+    def test_ground_cannot_be_biased(self):
+        with pytest.raises(CircuitError):
+            Node("gnd", NodeKind.GROUND, voltage=0.1)
+
+    def test_offset_charge_only_on_islands(self):
+        with pytest.raises(CircuitError):
+            Node("drain", NodeKind.SOURCE, offset_charge=0.1 * E_CHARGE)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Node("", NodeKind.ISLAND)
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Node(42, NodeKind.ISLAND)  # type: ignore[arg-type]

@@ -1,0 +1,134 @@
+"""Tests for the text netlist parser and writer."""
+
+import pytest
+
+from repro.circuit import parse_netlist, parse_value, write_netlist
+from repro.constants import E_CHARGE
+from repro.errors import NetlistParseError
+
+SET_NETLIST = """
+* A single-electron transistor
+.circuit set
+island dot
+vsource VD drain  1mV
+vsource VG gate   0V
+junction J1 drain dot  c=1aF  r=100kOhm
+junction J2 dot   gnd  c=1aF  r=100kOhm
+cap      CG gate  dot  c=2aF
+offset   dot 0.25e
+trap     T1 dot coupling=0.1e capture=1us emission=2us
+.end
+"""
+
+
+class TestParseValue:
+    @pytest.mark.parametrize("text,expected", [
+        ("1aF", 1e-18),
+        ("2.5fF", 2.5e-15),
+        ("100kOhm", 1e5),
+        ("1MOhm", 1e6),
+        ("2meg", 2e6),
+        ("5mV", 5e-3),
+        ("-3mV", -3e-3),
+        ("0.25e", 0.25 * E_CHARGE),
+        ("1us", 1e-6),
+        ("10ps", 1e-11),
+        ("3nA", 3e-9),
+        ("42", 42.0),
+        ("1e-18", 1e-18),
+    ])
+    def test_engineering_suffixes(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected, rel=1e-12)
+
+    def test_unknown_suffix_raises(self):
+        with pytest.raises(NetlistParseError):
+            parse_value("3parsec")
+
+    def test_garbage_raises(self):
+        with pytest.raises(NetlistParseError):
+            parse_value("not-a-number")
+
+
+class TestParseNetlist:
+    def test_parses_full_set(self):
+        circuit = parse_netlist(SET_NETLIST)
+        assert circuit.name == "set"
+        assert circuit.island_count == 1
+        assert len(circuit.junctions()) == 2
+        assert len(circuit.capacitors()) == 1
+        assert len(circuit.voltage_sources()) == 2
+        assert len(circuit.charge_traps()) == 1
+        assert circuit.node("drain").voltage == pytest.approx(1e-3)
+        assert circuit.node("dot").offset_charge == pytest.approx(0.25 * E_CHARGE)
+
+    def test_junction_parameters(self):
+        circuit = parse_netlist(SET_NETLIST)
+        junction = circuit.element("J1")
+        assert junction.capacitance == pytest.approx(1e-18)
+        assert junction.resistance == pytest.approx(1e5)
+
+    def test_trap_parameters(self):
+        circuit = parse_netlist(SET_NETLIST)
+        trap = circuit.charge_traps()[0]
+        assert trap.coupling == pytest.approx(0.1 * E_CHARGE)
+        assert trap.capture_time == pytest.approx(1e-6)
+        assert trap.emission_time == pytest.approx(2e-6)
+
+    def test_comments_and_blank_lines_ignored(self):
+        circuit = parse_netlist("# comment\n\n.circuit c\nisland a\n"
+                                "vsource V1 lead 1mV\n"
+                                "junction J1 lead a c=1aF r=1MOhm\n")
+        assert circuit.island_count == 1
+
+    def test_missing_junction_parameters_raise(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist(".circuit c\nisland a\nvsource V1 lead 0\n"
+                          "junction J1 lead a c=1aF\n")
+
+    def test_unknown_statement_raises_with_line_number(self):
+        with pytest.raises(NetlistParseError, match="line 2"):
+            parse_netlist(".circuit c\nfrobnicate X\n")
+
+    def test_content_after_end_raises(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist(".circuit c\nisland a\n.end\nisland b\n")
+
+    def test_unknown_node_reference_raises(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist(".circuit c\nisland a\nvsource V1 lead 0\n"
+                          "junction J1 lead missing c=1aF r=1MOhm\n")
+
+    def test_empty_netlist_raises(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist("* only a comment\n")
+
+    def test_duplicate_circuit_directive_raises(self):
+        with pytest.raises(NetlistParseError):
+            parse_netlist(".circuit a\n.circuit b\n")
+
+
+class TestWriteNetlist:
+    def test_roundtrip_preserves_structure(self):
+        original = parse_netlist(SET_NETLIST)
+        text = write_netlist(original)
+        recovered = parse_netlist(text)
+        assert recovered.name == original.name
+        assert recovered.island_count == original.island_count
+        assert len(recovered.junctions()) == len(original.junctions())
+        assert len(recovered.capacitors()) == len(original.capacitors())
+        assert len(recovered.charge_traps()) == len(original.charge_traps())
+
+    def test_roundtrip_preserves_values(self):
+        original = parse_netlist(SET_NETLIST)
+        recovered = parse_netlist(write_netlist(original))
+        assert recovered.element("J1").capacitance == pytest.approx(1e-18)
+        assert recovered.element("J1").resistance == pytest.approx(1e5)
+        assert recovered.node("drain").voltage == pytest.approx(1e-3)
+        assert recovered.node("dot").offset_charge == pytest.approx(0.25 * E_CHARGE)
+
+    def test_roundtrip_preserves_trap(self):
+        original = parse_netlist(SET_NETLIST)
+        recovered = parse_netlist(write_netlist(original))
+        trap = recovered.charge_traps()[0]
+        assert trap.coupling == pytest.approx(0.1 * E_CHARGE)
+        assert trap.capture_time == pytest.approx(1e-6)

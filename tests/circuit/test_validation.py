@@ -1,0 +1,85 @@
+"""Tests for circuit validation."""
+
+import pytest
+
+from repro.circuit import Circuit, assert_valid, validate_circuit
+from repro.constants import R_QUANTUM
+from repro.errors import ValidationError
+
+from ..conftest import build_set_circuit
+
+
+class TestValidCircuits:
+    def test_standard_set_is_valid(self):
+        report = validate_circuit(build_set_circuit())
+        assert report.is_valid
+        assert not report.errors
+
+    def test_assert_valid_passes_silently(self):
+        assert_valid(build_set_circuit())
+
+
+class TestInvalidCircuits:
+    def test_disconnected_island_is_an_error(self):
+        circuit = Circuit("c")
+        circuit.add_island("floating")
+        report = validate_circuit(circuit)
+        assert not report.is_valid
+        assert any("disconnected" in message for message in report.errors)
+
+    def test_islands_without_junctions_is_an_error(self):
+        circuit = Circuit("c")
+        circuit.add_island("dot")
+        circuit.add_voltage_source("VG", "gate", 0.0)
+        circuit.add_capacitor("CG", "gate", "dot", 1e-18)
+        report = validate_circuit(circuit)
+        # No junctions at all in a circuit with islands.
+        assert not report.is_valid
+
+    def test_sub_quantum_resistance_is_an_error(self):
+        circuit = build_set_circuit(junction_resistance=0.1 * R_QUANTUM)
+        report = validate_circuit(circuit)
+        assert not report.is_valid
+        assert any("resistance quantum" in message for message in report.errors)
+
+    def test_raise_if_invalid(self):
+        circuit = Circuit("c")
+        circuit.add_island("floating")
+        with pytest.raises(ValidationError):
+            validate_circuit(circuit).raise_if_invalid()
+
+
+class TestWarnings:
+    def test_marginal_resistance_is_a_warning_by_default(self):
+        circuit = build_set_circuit(junction_resistance=2.0 * R_QUANTUM)
+        report = validate_circuit(circuit)
+        assert report.is_valid
+        assert any("R_K" in message for message in report.warnings)
+
+    def test_marginal_resistance_is_an_error_in_strict_mode(self):
+        circuit = build_set_circuit(junction_resistance=2.0 * R_QUANTUM)
+        report = validate_circuit(circuit, strict=True)
+        assert not report.is_valid
+
+    def test_floating_gate_island_is_a_warning(self):
+        circuit = build_set_circuit()
+        circuit.add_island("memory_node")
+        circuit.add_capacitor("C_store", "memory_node", "dot", 1e-18)
+        report = validate_circuit(circuit)
+        assert report.is_valid
+        assert any("floating gate" in message for message in report.warnings)
+
+    def test_capacitor_between_sources_is_a_warning(self):
+        circuit = build_set_circuit()
+        circuit.add_capacitor("C_decouple", "drain", "gate", 1e-15)
+        report = validate_circuit(circuit)
+        assert report.is_valid
+        assert any("no effect" in message for message in report.warnings)
+
+    def test_circuit_without_islands_warns(self):
+        circuit = Circuit("c")
+        circuit.add_voltage_source("V1", "lead", 0.01)
+        circuit.add_junction("J1", "lead", "gnd", 1e-18, 1e6)
+        report = validate_circuit(circuit)
+        assert report.is_valid
+        assert any("no islands" in message for message in report.warnings)

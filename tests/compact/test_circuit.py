@@ -1,0 +1,118 @@
+"""Tests for the compact-circuit container."""
+
+import pytest
+
+from repro.compact import AnalyticSETModel, CompactCircuit, JunctionVaractor, MOSFETModel
+from repro.errors import CircuitError
+
+
+class TestNodes:
+    def test_ground_is_fixed(self):
+        circuit = CompactCircuit("c")
+        assert circuit.fixed_nodes == {"gnd": 0.0}
+
+    def test_devices_create_free_nodes(self):
+        circuit = CompactCircuit("c")
+        circuit.add_resistor("R1", "a", "b", 1e3)
+        assert set(circuit.free_nodes) == {"a", "b"}
+
+    def test_voltage_source_makes_node_fixed(self):
+        circuit = CompactCircuit("c")
+        circuit.add_resistor("R1", "a", "gnd", 1e3)
+        circuit.add_voltage_source("V1", "a", 1.0)
+        assert "a" not in circuit.free_nodes
+        assert circuit.fixed_nodes["a"] == pytest.approx(1.0)
+
+    def test_duplicate_node_rejected(self):
+        circuit = CompactCircuit("c")
+        circuit.add_node("a")
+        with pytest.raises(CircuitError):
+            circuit.add_node("a")
+
+    def test_ground_cannot_be_biased(self):
+        circuit = CompactCircuit("c")
+        with pytest.raises(CircuitError):
+            circuit.add_voltage_source("V1", "gnd", 1.0)
+
+
+class TestSources:
+    def test_set_and_read_source_voltage(self):
+        circuit = CompactCircuit("c")
+        circuit.add_voltage_source("VIN", "in", 0.5)
+        circuit.set_source_voltage("VIN", 0.7)
+        assert circuit.source_voltage("VIN") == pytest.approx(0.7)
+        assert circuit.source_voltage("in") == pytest.approx(0.7)
+
+    def test_unknown_source_rejected(self):
+        circuit = CompactCircuit("c")
+        with pytest.raises(CircuitError):
+            circuit.set_source_voltage("missing", 1.0)
+
+    def test_duplicate_source_rejected(self):
+        circuit = CompactCircuit("c")
+        circuit.add_voltage_source("V1", "a", 1.0)
+        with pytest.raises(CircuitError):
+            circuit.add_voltage_source("V1", "b", 1.0)
+
+
+class TestDevices:
+    def test_all_device_kinds_can_be_added(self):
+        circuit = CompactCircuit("c")
+        circuit.add_voltage_source("VDD", "vdd", 1.0)
+        circuit.add_resistor("R1", "vdd", "out", 1e5)
+        circuit.add_capacitor("C1", "out", "gnd", 1e-15)
+        circuit.add_current_source("I1", "out", "gnd", 1e-9)
+        circuit.add_mosfet("M1", "vdd", "bias", "out", MOSFETModel())
+        circuit.add_set("X1", "out", "in", "gnd", AnalyticSETModel())
+        circuit.add_varactor("D1", "in", "gnd", JunctionVaractor(1e-18))
+        # Six devices; the voltage source fixes a node rather than counting as
+        # a device.
+        assert len(circuit) == 6
+
+    def test_duplicate_device_rejected(self):
+        circuit = CompactCircuit("c")
+        circuit.add_resistor("R1", "a", "b", 1e3)
+        with pytest.raises(CircuitError):
+            circuit.add_resistor("R1", "a", "c", 1e3)
+
+    def test_device_lookup(self):
+        circuit = CompactCircuit("c")
+        circuit.add_resistor("R1", "a", "b", 1e3)
+        assert circuit.device("R1").resistance == pytest.approx(1e3)
+        with pytest.raises(CircuitError):
+            circuit.device("R2")
+
+    def test_custom_device_protocol_enforced(self):
+        circuit = CompactCircuit("c")
+        with pytest.raises(CircuitError):
+            circuit.add_device(object())
+
+    def test_replace_current_source(self):
+        circuit = CompactCircuit("c")
+        circuit.add_current_source("I1", "a", "gnd", 1e-9)
+        circuit.replace_current_source("I1", 2e-9)
+        assert circuit.device("I1").current == pytest.approx(2e-9)
+        circuit.add_resistor("R1", "a", "gnd", 1e3)
+        with pytest.raises(CircuitError):
+            circuit.replace_current_source("R1", 1e-9)
+
+
+class TestResiduals:
+    def test_residual_currents_at_a_floating_node(self):
+        circuit = CompactCircuit("c")
+        circuit.add_voltage_source("VDD", "vdd", 1.0)
+        circuit.add_resistor("R1", "vdd", "mid", 1e3)
+        circuit.add_resistor("R2", "mid", "gnd", 1e3)
+        residuals = circuit.residual_currents({"vdd": 1.0, "mid": 0.25, "gnd": 0.0})
+        # At 0.25 V the pull-down wins: net current out of the node is negative.
+        assert residuals["mid"] < 0.0
+
+    def test_device_current_by_terminal(self):
+        circuit = CompactCircuit("c")
+        circuit.add_resistor("R1", "a", "gnd", 1e3)
+        voltages = {"a": 1.0, "gnd": 0.0}
+        assert circuit.device_current("R1", voltages) == pytest.approx(1e-3)
+        assert circuit.device_current("R1", voltages, terminal="gnd") == \
+            pytest.approx(-1e-3)
+        with pytest.raises(CircuitError):
+            circuit.device_current("R1", voltages, terminal="xyz")

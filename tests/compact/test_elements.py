@@ -1,0 +1,44 @@
+"""Tests for passive compact-circuit elements."""
+
+import pytest
+
+from repro.compact import CapacitorDC, CurrentSource, Resistor
+from repro.errors import CircuitError
+
+
+class TestResistor:
+    def test_ohms_law(self):
+        resistor = Resistor("R1", "a", "b", 1e3)
+        currents = resistor.terminal_currents({"a": 1.0, "b": 0.0})
+        assert currents["a"] == pytest.approx(1e-3)
+        assert currents["b"] == pytest.approx(-1e-3)
+
+    def test_current_conservation(self):
+        resistor = Resistor("R1", "a", "b", 4.7e4)
+        currents = resistor.terminal_currents({"a": 0.3, "b": -0.2})
+        assert currents["a"] + currents["b"] == pytest.approx(0.0)
+
+    def test_rejects_non_positive_resistance(self):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", 0.0)
+
+
+class TestCurrentSource:
+    def test_fixed_current_independent_of_voltage(self):
+        source = CurrentSource("I1", "a", "b", 1e-9)
+        for va in (0.0, 1.0, -1.0):
+            currents = source.terminal_currents({"a": va, "b": 0.0})
+            assert currents["a"] == pytest.approx(1e-9)
+            assert currents["b"] == pytest.approx(-1e-9)
+
+
+class TestCapacitorDC:
+    def test_open_at_dc(self):
+        capacitor = CapacitorDC("C1", "a", "b", 1e-15)
+        currents = capacitor.terminal_currents({"a": 1.0, "b": 0.0})
+        assert currents["a"] == 0.0
+        assert currents["b"] == 0.0
+
+    def test_rejects_non_positive_capacitance(self):
+        with pytest.raises(CircuitError):
+            CapacitorDC("C1", "a", "b", -1e-15)

@@ -1,0 +1,89 @@
+"""Tests for the compact MOSFET model."""
+
+import pytest
+
+from repro.compact import MOSFET, MOSFETModel
+from repro.errors import CircuitError
+
+
+class TestNMOSCharacteristics:
+    def test_off_below_threshold(self):
+        model = MOSFETModel(threshold_voltage=0.4)
+        assert model.drain_current(0.0, 1.0) < 1e-9
+
+    def test_on_above_threshold(self):
+        model = MOSFETModel(threshold_voltage=0.4)
+        assert model.drain_current(1.0, 1.0) > 1e-6
+
+    def test_subthreshold_current_is_exponential(self):
+        model = MOSFETModel(threshold_voltage=0.4, subthreshold_slope_factor=1.3)
+        low = model.drain_current(0.1, 1.0)
+        high = model.drain_current(0.2, 1.0)
+        # 100 mV of gate drive in weak inversion: one to several decades.
+        assert high / low > 5.0
+
+    def test_saturation_region_is_flat(self):
+        model = MOSFETModel(threshold_voltage=0.4, channel_length_modulation=0.0)
+        assert model.drain_current(1.0, 2.0) == pytest.approx(
+            model.drain_current(1.0, 1.5), rel=0.02)
+
+    def test_triode_region_grows_with_vds(self):
+        model = MOSFETModel(threshold_voltage=0.4)
+        assert model.drain_current(1.0, 0.05) < model.drain_current(1.0, 0.2)
+
+    def test_channel_length_modulation_adds_slope(self):
+        flat = MOSFETModel(channel_length_modulation=0.0)
+        sloped = MOSFETModel(channel_length_modulation=0.1)
+        assert sloped.drain_current(1.0, 2.0) > flat.drain_current(1.0, 2.0)
+
+    def test_reverse_vds_gives_negative_current(self):
+        model = MOSFETModel(threshold_voltage=0.4)
+        assert model.drain_current(1.0, -0.5) < 0.0
+
+    def test_zero_vds_gives_zero_current(self):
+        model = MOSFETModel()
+        assert model.drain_current(1.0, 0.0) == pytest.approx(0.0, abs=1e-15)
+
+
+class TestPMOS:
+    def test_pmos_mirrors_nmos(self):
+        nmos = MOSFETModel(polarity="nmos")
+        pmos = MOSFETModel(polarity="pmos")
+        assert pmos.drain_current(-1.0, -1.0) == pytest.approx(
+            -nmos.drain_current(1.0, 1.0))
+
+    def test_pmos_off_for_positive_gate(self):
+        pmos = MOSFETModel(polarity="pmos", threshold_voltage=0.4)
+        assert abs(pmos.drain_current(0.5, -1.0)) < 1e-9
+
+
+class TestBiasHelpers:
+    def test_gate_voltage_for_current_inverts_the_model(self):
+        model = MOSFETModel(transconductance=1e-4, threshold_voltage=0.4)
+        target = 2e-9
+        gate = model.gate_voltage_for_current(target, drain_source_voltage=0.5)
+        assert abs(model.drain_current(gate, 0.5)) == pytest.approx(target, rel=0.01)
+
+    def test_saturation_current_monotonic_in_gate_drive(self):
+        model = MOSFETModel()
+        assert model.saturation_current(1.0) > model.saturation_current(0.6)
+
+    def test_invalid_target_current(self):
+        with pytest.raises(CircuitError):
+            MOSFETModel().gate_voltage_for_current(0.0, 1.0)
+
+
+class TestDeviceWrapper:
+    def test_terminal_currents_conserve_charge(self):
+        device = MOSFET("M1", "d", "g", "s", MOSFETModel())
+        currents = device.terminal_currents({"d": 1.0, "g": 0.8, "s": 0.0})
+        assert currents["d"] + currents["s"] == pytest.approx(0.0)
+        assert currents["g"] == 0.0
+
+    def test_invalid_model_parameters(self):
+        with pytest.raises(CircuitError):
+            MOSFETModel(transconductance=0.0)
+        with pytest.raises(CircuitError):
+            MOSFETModel(polarity="cmos")
+        with pytest.raises(CircuitError):
+            MOSFETModel(subthreshold_slope_factor=0.5)

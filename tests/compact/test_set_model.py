@@ -1,0 +1,117 @@
+"""Tests for the compact SET models (analytic two-state and master-equation-backed)."""
+
+import numpy as np
+import pytest
+
+from repro.compact import AnalyticSETModel, MasterEquationSETModel, SETDevice, TunableSETModel
+from repro.constants import E_CHARGE
+from repro.errors import CircuitError
+
+
+class TestAnalyticModel:
+    def test_gate_period(self):
+        model = AnalyticSETModel(gate_capacitance=2e-18)
+        assert model.gate_period == pytest.approx(E_CHARGE / 2e-18)
+
+    def test_blockade_at_small_bias_and_low_temperature(self):
+        model = AnalyticSETModel(temperature=0.1)
+        assert abs(model.drain_current(0.005, 0.0)) < 1e-16
+
+    def test_conduction_above_threshold(self):
+        model = AnalyticSETModel(temperature=0.1)
+        assert model.drain_current(0.06, 0.0) > 1e-10
+
+    def test_current_is_odd_in_bias_at_symmetric_operating_point(self):
+        model = AnalyticSETModel(temperature=1.0)
+        forward = model.drain_current(0.05, 0.02)
+        backward = model.drain_current(-0.05, -0.02)
+        assert forward == pytest.approx(-backward, rel=1e-6)
+
+    def test_periodicity_in_gate_voltage(self):
+        model = AnalyticSETModel(temperature=2.0)
+        period = model.gate_period
+        for gate in (0.013, 0.031):
+            assert model.drain_current(0.01, gate) == pytest.approx(
+                model.drain_current(0.01, gate + period), rel=1e-6)
+
+    def test_background_charge_shifts_the_phase(self):
+        clean = AnalyticSETModel(temperature=2.0)
+        shifted = AnalyticSETModel(temperature=2.0,
+                                   background_charge=0.5 * E_CHARGE)
+        gate = 0.25 * clean.gate_period
+        # Half an electron of offset is equivalent to half a period of gate.
+        assert shifted.drain_current(0.01, gate) == pytest.approx(
+            clean.drain_current(0.01, gate + 0.5 * clean.gate_period), rel=1e-6)
+
+    def test_agrees_with_master_equation_model(self):
+        analytic = AnalyticSETModel(temperature=2.0)
+        exact = MasterEquationSETModel(temperature=2.0)
+        gates = np.linspace(0.0, 0.16, 9)
+        for gate in gates:
+            a = analytic.drain_current(0.005, gate)
+            b = exact.drain_current(0.005, gate)
+            assert a == pytest.approx(b, rel=0.05, abs=1e-13)
+
+    def test_conductance_is_positive_when_conducting(self):
+        model = AnalyticSETModel(temperature=1.0)
+        assert model.conductance(0.05, 0.04) > 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CircuitError):
+            AnalyticSETModel(gate_capacitance=0.0)
+        with pytest.raises(CircuitError):
+            AnalyticSETModel(temperature=-1.0)
+
+
+class TestMasterEquationModel:
+    def test_cache_returns_identical_values(self):
+        model = MasterEquationSETModel(temperature=1.0)
+        first = model.drain_current(0.05, 0.04)
+        second = model.drain_current(0.05, 0.04)
+        assert first == second
+        assert len(model._cache) == 1
+
+    def test_clear_cache(self):
+        model = MasterEquationSETModel(temperature=1.0)
+        model.drain_current(0.05, 0.04)
+        model.clear_cache()
+        assert len(model._cache) == 0
+
+    def test_source_voltage_offsets_the_bias(self):
+        model = MasterEquationSETModel(temperature=1.0)
+        differential = model.drain_current(0.05, 0.04, source_voltage=0.0)
+        shifted = model.drain_current(0.10, 0.09, source_voltage=0.05)
+        assert shifted == pytest.approx(differential, rel=0.05)
+
+
+class TestTunableModel:
+    def test_background_charge_is_mutable(self):
+        model = TunableSETModel(temperature=2.0)
+        before = model.drain_current(0.01, 0.02)
+        model.background_charge = 0.5 * E_CHARGE
+        after = model.drain_current(0.01, 0.02)
+        assert before != after
+        assert model.background_charge == pytest.approx(0.5 * E_CHARGE)
+
+    def test_gate_capacitance_is_mutable(self):
+        model = TunableSETModel()
+        original_period = model.gate_period
+        model.gate_capacitance = 1e-18
+        assert model.gate_period == pytest.approx(E_CHARGE / 1e-18)
+        assert model.gate_period != original_period
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(CircuitError):
+            TunableSETModel().set_parameter("colour", 1.0)
+
+    def test_parameter_passthrough(self):
+        model = TunableSETModel(drain_resistance=5e7)
+        assert model.drain_resistance == pytest.approx(5e7)
+
+
+class TestSETDeviceWrapper:
+    def test_terminal_currents_conserve_charge(self):
+        device = SETDevice("X1", "d", "g", "s", AnalyticSETModel(temperature=1.0))
+        currents = device.terminal_currents({"d": 0.05, "g": 0.04, "s": 0.0})
+        assert currents["d"] + currents["s"] == pytest.approx(0.0)
+        assert currents["g"] == 0.0

@@ -1,0 +1,92 @@
+"""Tests for DC sweeps and quasi-static transients."""
+
+import numpy as np
+import pytest
+
+from repro.compact import (
+    AnalyticSETModel,
+    CompactCircuit,
+    MOSFETModel,
+    TunableSETModel,
+    dc_sweep,
+    quasi_static_transient,
+)
+from repro.constants import E_CHARGE
+from repro.errors import SolverError
+
+
+def build_divider():
+    circuit = CompactCircuit("divider")
+    circuit.add_voltage_source("VIN", "in", 0.0)
+    circuit.add_resistor("R1", "in", "mid", 1e3)
+    circuit.add_resistor("R2", "mid", "gnd", 1e3)
+    return circuit
+
+
+class TestDCSweep:
+    def test_linear_circuit_sweeps_linearly(self):
+        circuit = build_divider()
+        result = dc_sweep(circuit, "VIN", np.linspace(0.0, 1.0, 11),
+                          record_nodes=["mid"], record_devices=["R1"])
+        assert np.allclose(result.voltage("mid"), 0.5 * result.sweep_values)
+        assert np.allclose(result.current("R1"),
+                           0.5 * result.sweep_values / 1e3)
+
+    def test_source_value_is_restored(self):
+        circuit = build_divider()
+        circuit.set_source_voltage("VIN", 0.321)
+        dc_sweep(circuit, "VIN", [0.0, 0.5, 1.0], record_nodes=["mid"])
+        assert circuit.source_voltage("VIN") == pytest.approx(0.321)
+
+    def test_setmos_sweep_is_periodic_in_the_gate(self):
+        circuit = CompactCircuit("setmos")
+        circuit.add_voltage_source("VDD", "vdd", 1.0)
+        circuit.add_voltage_source("VB", "bias", 0.45)
+        circuit.add_voltage_source("VIN", "in", 0.0)
+        circuit.add_mosfet("M1", "vdd", "bias", "out",
+                           MOSFETModel(transconductance=2e-5))
+        circuit.add_set("X1", "out", "in", "gnd", AnalyticSETModel(temperature=10.0))
+        period = E_CHARGE / 2e-18
+        inputs = np.linspace(0.0, 2.0 * period, 33)
+        result = dc_sweep(circuit, "VIN", inputs, record_nodes=["out"])
+        output = result.voltage("out")
+        half = len(output) // 2
+        assert np.allclose(output[:half], output[half:-1], atol=2e-3)
+
+    def test_unknown_record_target_raises(self):
+        circuit = build_divider()
+        result = dc_sweep(circuit, "VIN", [0.0, 1.0], record_nodes=["mid"])
+        with pytest.raises(SolverError):
+            result.voltage("nope")
+        with pytest.raises(SolverError):
+            result.current("nope")
+
+
+class TestQuasiStaticTransient:
+    def test_update_callback_drives_the_source(self):
+        circuit = build_divider()
+        times = np.linspace(0.0, 1.0, 21)
+
+        def update(target, time):
+            target.set_source_voltage("VIN", time)
+
+        result = quasi_static_transient(circuit, times, update,
+                                        record_nodes=["mid"])
+        assert np.allclose(result.voltage("mid"), 0.5 * times)
+
+    def test_tunable_set_model_can_be_modulated(self):
+        set_model = TunableSETModel(temperature=10.0)
+        circuit = CompactCircuit("mod")
+        circuit.add_voltage_source("VDD", "vdd", 0.1)
+        circuit.add_voltage_source("VIN", "in", 0.02)
+        circuit.add_resistor("R_load", "vdd", "out", 1e7)
+        circuit.add_set("X1", "out", "in", "gnd", set_model)
+        times = np.linspace(0.0, 1.0, 9)
+
+        def update(target, time):
+            set_model.background_charge = 0.5 * E_CHARGE if time > 0.5 else 0.0
+
+        result = quasi_static_transient(circuit, times, update,
+                                        record_nodes=["out"])
+        output = result.voltage("out")
+        assert abs(output[-1] - output[0]) > 1e-4

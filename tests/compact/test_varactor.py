@@ -1,0 +1,67 @@
+"""Tests for varactor models."""
+
+import pytest
+
+from repro.compact import JunctionVaractor, SuspendedGateVaractor, Varactor
+from repro.errors import CircuitError
+
+
+class TestJunctionVaractor:
+    def test_zero_bias_value(self):
+        varactor = JunctionVaractor(zero_bias_capacitance=2e-18)
+        assert varactor.capacitance(0.0) == pytest.approx(2e-18)
+
+    def test_capacitance_falls_with_reverse_bias(self):
+        varactor = JunctionVaractor(zero_bias_capacitance=2e-18,
+                                    built_in_potential=0.7)
+        assert varactor.capacitance(1.0) < varactor.capacitance(0.1)
+
+    def test_abrupt_junction_square_root_law(self):
+        varactor = JunctionVaractor(2e-18, built_in_potential=0.7,
+                                    grading_exponent=0.5)
+        assert varactor.capacitance(2.1) == pytest.approx(1e-18, rel=1e-9)
+
+    def test_bias_for_capacitance_inverts_the_law(self):
+        varactor = JunctionVaractor(2e-18)
+        bias = varactor.bias_for_capacitance(1.2e-18)
+        assert varactor.capacitance(bias) == pytest.approx(1.2e-18, rel=1e-9)
+
+    def test_invalid_targets_rejected(self):
+        varactor = JunctionVaractor(2e-18)
+        with pytest.raises(CircuitError):
+            varactor.bias_for_capacitance(3e-18)
+        with pytest.raises(CircuitError):
+            varactor.capacitance(-0.1)
+        with pytest.raises(CircuitError):
+            JunctionVaractor(0.0)
+        with pytest.raises(CircuitError):
+            JunctionVaractor(1e-18, grading_exponent=1.5)
+
+
+class TestSuspendedGateVaractor:
+    def test_actuation_increases_capacitance(self):
+        varactor = SuspendedGateVaractor(area=1e-14, rest_gap=10e-9,
+                                         pull_in_voltage=1.0)
+        assert varactor.capacitance(0.8) > varactor.capacitance(0.0)
+
+    def test_displacement_saturates_at_pull_in(self):
+        varactor = SuspendedGateVaractor(area=1e-14, rest_gap=10e-9,
+                                         pull_in_voltage=1.0)
+        assert varactor.capacitance(1.0) == pytest.approx(varactor.capacitance(5.0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CircuitError):
+            SuspendedGateVaractor(area=0.0, rest_gap=10e-9)
+
+
+class TestVaractorDevice:
+    def test_open_at_dc(self):
+        device = Varactor("D1", "a", "b", JunctionVaractor(1e-18))
+        currents = device.terminal_currents({"a": 1.0, "b": 0.0})
+        assert currents == {"a": 0.0, "b": 0.0}
+
+    def test_capacitance_follows_node_voltages(self):
+        device = Varactor("D1", "a", "b", JunctionVaractor(1e-18))
+        high = device.capacitance({"a": 0.0, "b": 0.0})
+        low = device.capacitance({"a": 1.0, "b": 0.0})
+        assert low < high

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test-suite.
+
+The standard device used across many tests is a symmetric SET with 1 aF
+junctions, a 2 aF gate and 1 Mohm junctions: charging energy ~0.23 meV
+(usable below ~2.3 K with the 40 kT margin), gate period 80 mV, blockade
+voltage 40 mV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.constants import E_CHARGE
+from repro.devices import SETTransistor
+
+
+STANDARD_CJ = 1e-18
+STANDARD_CG = 2e-18
+STANDARD_RJ = 1e6
+
+
+def build_set_circuit(drain_voltage: float = 0.0, gate_voltage: float = 0.0,
+                      offset_charge: float = 0.0,
+                      junction_capacitance: float = STANDARD_CJ,
+                      gate_capacitance: float = STANDARD_CG,
+                      junction_resistance: float = STANDARD_RJ) -> Circuit:
+    """A plain two-junction SET circuit with standard node/element names."""
+    circuit = Circuit("set")
+    circuit.add_island("dot", offset_charge=offset_charge)
+    circuit.add_voltage_source("VD", "drain", drain_voltage)
+    circuit.add_voltage_source("VG", "gate", gate_voltage)
+    circuit.add_junction("J_drain", "drain", "dot", junction_capacitance,
+                         junction_resistance)
+    circuit.add_junction("J_source", "dot", "gnd", junction_capacitance,
+                         junction_resistance)
+    circuit.add_capacitor("C_gate", "gate", "dot", gate_capacitance)
+    return circuit
+
+
+def build_double_dot_circuit(bias_voltage: float = 1e-3) -> Circuit:
+    """Two islands in series between a biased lead and ground, with gates."""
+    circuit = Circuit("double_dot")
+    circuit.add_island("dot_a", offset_charge=0.05 * E_CHARGE)
+    circuit.add_island("dot_b", offset_charge=-0.1 * E_CHARGE)
+    circuit.add_voltage_source("VL", "lead", bias_voltage)
+    circuit.add_voltage_source("VGA", "gate_a", 0.0)
+    circuit.add_voltage_source("VGB", "gate_b", 0.0)
+    circuit.add_junction("J_left", "lead", "dot_a", 1e-18, 1e6)
+    circuit.add_junction("J_mid", "dot_a", "dot_b", 0.5e-18, 2e6)
+    circuit.add_junction("J_right", "dot_b", "gnd", 1.2e-18, 1.5e6)
+    circuit.add_capacitor("C_gate_a", "gate_a", "dot_a", 0.4e-18)
+    circuit.add_capacitor("C_gate_b", "gate_b", "dot_b", 0.3e-18)
+    return circuit
+
+
+@pytest.fixture
+def set_circuit() -> Circuit:
+    """A conducting SET operating point (above the blockade threshold)."""
+    return build_set_circuit(drain_voltage=0.05, gate_voltage=0.04)
+
+
+@pytest.fixture
+def blockaded_set_circuit() -> Circuit:
+    """A SET deep inside its Coulomb blockade."""
+    return build_set_circuit(drain_voltage=0.005, gate_voltage=0.0)
+
+
+@pytest.fixture
+def double_dot_circuit() -> Circuit:
+    """A two-island series circuit for interacting-SET tests."""
+    return build_double_dot_circuit()
+
+
+@pytest.fixture
+def standard_transistor() -> SETTransistor:
+    """The standard SET device used throughout the tests."""
+    return SETTransistor(junction_capacitance=STANDARD_CJ,
+                         gate_capacitance=STANDARD_CG,
+                         junction_resistance=STANDARD_RJ)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded NumPy generator for reproducible stochastic tests."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,161 @@
+"""Tests for background charges, telegraph noise and trap ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_CHARGE
+from repro.core import (
+    BackgroundChargeDistribution,
+    RandomTelegraphProcess,
+    TrapEnsemble,
+    wrap_offset_charge,
+)
+from repro.errors import ReproError
+
+from ..conftest import build_set_circuit
+
+
+class TestWrapOffsetCharge:
+    def test_small_charges_unchanged(self):
+        assert wrap_offset_charge(0.3 * E_CHARGE) == pytest.approx(0.3 * E_CHARGE)
+        assert wrap_offset_charge(-0.3 * E_CHARGE) == pytest.approx(-0.3 * E_CHARGE)
+
+    def test_full_electron_wraps_to_zero(self):
+        assert wrap_offset_charge(E_CHARGE) == pytest.approx(0.0, abs=1e-30)
+
+    def test_wrapping_is_periodic(self):
+        assert wrap_offset_charge(1.3 * E_CHARGE) == pytest.approx(0.3 * E_CHARGE)
+        assert wrap_offset_charge(-0.7 * E_CHARGE) == pytest.approx(0.3 * E_CHARGE)
+
+    def test_result_always_in_range(self):
+        for value in np.linspace(-3.0, 3.0, 61):
+            wrapped = wrap_offset_charge(value * E_CHARGE)
+            assert -0.5 * E_CHARGE < wrapped <= 0.5 * E_CHARGE + 1e-30
+
+
+class TestBackgroundChargeDistribution:
+    def test_samples_are_reproducible_with_seed(self):
+        first = BackgroundChargeDistribution(["a", "b"], seed=3).samples(5)
+        second = BackgroundChargeDistribution(["a", "b"], seed=3).samples(5)
+        for one, two in zip(first, second):
+            assert one == two
+
+    def test_uniform_samples_respect_amplitude(self):
+        distribution = BackgroundChargeDistribution(["dot"], amplitude=0.2, seed=1)
+        for sample in distribution.samples(200):
+            assert abs(sample["dot"]) <= 0.2 * E_CHARGE + 1e-30
+
+    def test_gaussian_samples_are_wrapped(self):
+        distribution = BackgroundChargeDistribution(["dot"], amplitude=1.5,
+                                                    distribution="gaussian", seed=2)
+        for sample in distribution.samples(100):
+            assert abs(sample["dot"]) <= 0.5 * E_CHARGE + 1e-30
+
+    def test_apply_writes_into_circuit(self):
+        circuit = build_set_circuit()
+        distribution = BackgroundChargeDistribution(["dot"], seed=4)
+        configuration = distribution.sample()
+        distribution.apply(circuit, configuration)
+        assert circuit.node("dot").offset_charge == pytest.approx(configuration["dot"])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ReproError):
+            BackgroundChargeDistribution([])
+        with pytest.raises(ReproError):
+            BackgroundChargeDistribution(["a"], amplitude=-1.0)
+        with pytest.raises(ReproError):
+            BackgroundChargeDistribution(["a"], distribution="cauchy")
+        with pytest.raises(ReproError):
+            BackgroundChargeDistribution(["a"]).samples(0)
+
+
+class TestRandomTelegraphProcess:
+    def test_occupancy_probability(self):
+        trap = RandomTelegraphProcess(capture_time=1e-6, emission_time=3e-6)
+        assert trap.occupancy_probability == pytest.approx(0.75)
+
+    def test_rms_charge(self):
+        trap = RandomTelegraphProcess(1e-6, 1e-6, amplitude=0.2 * E_CHARGE)
+        assert trap.rms_charge == pytest.approx(0.1 * E_CHARGE)
+
+    def test_current_charge_follows_state(self):
+        trap = RandomTelegraphProcess(1e-6, 1e-6, amplitude=0.2 * E_CHARGE)
+        trap.occupied = False
+        assert trap.current_charge() == 0.0
+        trap.occupied = True
+        assert trap.current_charge() == pytest.approx(0.2 * E_CHARGE)
+
+    def test_next_transition_flips_state(self):
+        trap = RandomTelegraphProcess(1e-6, 1e-6, seed=0)
+        initial = trap.occupied
+        waiting = trap.next_transition()
+        assert waiting > 0.0
+        assert trap.occupied != initial
+
+    def test_timeseries_occupancy_matches_statistics(self):
+        trap = RandomTelegraphProcess(1e-6, 3e-6, amplitude=E_CHARGE, seed=5)
+        series = trap.sample_timeseries(duration=2e-3, timestep=1e-7)
+        occupancy = np.mean(series > 0.0)
+        assert occupancy == pytest.approx(trap.occupancy_probability, abs=0.08)
+
+    def test_advance_is_statistically_consistent(self):
+        trap = RandomTelegraphProcess(1e-6, 1e-6, seed=11)
+        occupied = 0
+        samples = 400
+        for _ in range(samples):
+            occupied += trap.advance(5e-6)
+        assert occupied / samples == pytest.approx(0.5, abs=0.1)
+
+    def test_mean_switching_rate(self):
+        trap = RandomTelegraphProcess(2e-6, 2e-6)
+        assert trap.mean_switching_rate == pytest.approx(0.5e6)
+
+    def test_reset_and_reseed(self):
+        trap = RandomTelegraphProcess(1e-6, 1e-6, seed=1)
+        first = trap.sample_timeseries(1e-5, 1e-7)
+        trap.reset(occupied=False, seed=1)
+        second = trap.sample_timeseries(1e-5, 1e-7)
+        assert np.array_equal(first, second)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            RandomTelegraphProcess(0.0, 1e-6)
+        with pytest.raises(ReproError):
+            RandomTelegraphProcess(1e-6, 1e-6).sample_timeseries(0.0, 1e-7)
+        with pytest.raises(ReproError):
+            RandomTelegraphProcess(1e-6, 1e-6).advance(-1.0)
+
+
+class TestTrapEnsemble:
+    def test_ensemble_size(self):
+        ensemble = TrapEnsemble(trap_count=25, seed=0)
+        assert len(ensemble) == 25
+
+    def test_rms_adds_in_quadrature(self):
+        ensemble = TrapEnsemble(trap_count=10, seed=1)
+        expected = np.sqrt(sum(trap.rms_charge**2 for trap in ensemble.traps))
+        assert ensemble.rms_charge() == pytest.approx(expected)
+
+    def test_timeseries_is_sum_of_traps(self):
+        ensemble = TrapEnsemble(trap_count=5, amplitude=0.02 * E_CHARGE,
+                                min_time=1e-5, max_time=1e-3, seed=2)
+        series = ensemble.sample_timeseries(duration=1e-2, timestep=1e-4)
+        assert series.shape == (100,)
+        assert np.all(np.abs(series) <= 5 * 0.02 * E_CHARGE + 1e-30)
+
+    def test_psd_falls_with_frequency(self):
+        # Many superposed Lorentzians give 1/f-like noise: low-frequency power
+        # must dominate high-frequency power.
+        ensemble = TrapEnsemble(trap_count=30, amplitude=0.05 * E_CHARGE,
+                                min_time=1e-4, max_time=1e-1, seed=3)
+        frequencies, psd = ensemble.power_spectral_density(duration=2.0,
+                                                           timestep=1e-3)
+        low = psd[frequencies < 10.0].mean()
+        high = psd[frequencies > 100.0].mean()
+        assert low > high
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            TrapEnsemble(trap_count=0)
+        with pytest.raises(ReproError):
+            TrapEnsemble(trap_count=3, min_time=1e-3, max_time=1e-4)

@@ -1,0 +1,121 @@
+"""Tests for the capacitance-matrix assembly."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.constants import E_CHARGE
+from repro.core import CapacitanceSystem
+from repro.errors import SolverError
+
+from ..conftest import build_double_dot_circuit, build_set_circuit
+
+
+class TestSingleIslandMatrices:
+    def test_diagonal_is_total_capacitance(self):
+        system = CapacitanceSystem(build_set_circuit())
+        assert system.maxwell.shape == (1, 1)
+        assert system.maxwell[0, 0] == pytest.approx(4e-18)
+        assert system.total_capacitance("dot") == pytest.approx(4e-18)
+
+    def test_coupling_matrix_columns_match_sources(self):
+        circuit = build_set_circuit()
+        system = CapacitanceSystem(circuit)
+        gate_column = system.source_index["gate"]
+        drain_column = system.source_index["drain"]
+        ground_column = system.source_index["gnd"]
+        assert system.coupling[0, gate_column] == pytest.approx(2e-18)
+        assert system.coupling[0, drain_column] == pytest.approx(1e-18)
+        assert system.coupling[0, ground_column] == pytest.approx(1e-18)
+
+    def test_effective_gate_coupling(self):
+        system = CapacitanceSystem(build_set_circuit())
+        assert system.effective_gate_coupling("dot", "gate") == pytest.approx(2e-18)
+
+    def test_charging_energy(self):
+        system = CapacitanceSystem(build_set_circuit())
+        assert system.charging_energy("dot") == pytest.approx(E_CHARGE**2 / 8e-18)
+
+
+class TestDoubleDotMatrices:
+    def test_matrix_is_symmetric(self):
+        system = CapacitanceSystem(build_double_dot_circuit())
+        assert np.allclose(system.maxwell, system.maxwell.T)
+
+    def test_off_diagonal_is_negative_coupling(self):
+        system = CapacitanceSystem(build_double_dot_circuit())
+        index_a = system.island_index["dot_a"]
+        index_b = system.island_index["dot_b"]
+        assert system.maxwell[index_a, index_b] == pytest.approx(-0.5e-18)
+
+    def test_matrix_is_positive_definite(self):
+        system = CapacitanceSystem(build_double_dot_circuit())
+        eigenvalues = np.linalg.eigvalsh(system.maxwell)
+        assert np.all(eigenvalues > 0.0)
+
+    def test_diagonals_sum_attached_capacitances(self):
+        system = CapacitanceSystem(build_double_dot_circuit())
+        index_a = system.island_index["dot_a"]
+        # dot_a: J_left (1 aF) + J_mid (0.5 aF) + gate_a (0.4 aF)
+        assert system.maxwell[index_a, index_a] == pytest.approx(1.9e-18)
+
+
+class TestPotentials:
+    def test_neutral_island_follows_gate(self):
+        circuit = build_set_circuit(gate_voltage=0.01)
+        system = CapacitanceSystem(circuit)
+        potentials = system.island_potentials(np.zeros(1))
+        # phi = Cg Vg / C_sigma = 2/4 * 10 mV = 5 mV
+        assert potentials[0] == pytest.approx(0.005)
+
+    def test_one_electron_lowers_potential_by_e_over_csigma(self):
+        circuit = build_set_circuit()
+        system = CapacitanceSystem(circuit)
+        neutral = system.island_potentials(np.zeros(1))
+        charged = system.island_potentials(np.array([-E_CHARGE]))
+        assert neutral[0] - charged[0] == pytest.approx(E_CHARGE / 4e-18)
+
+    def test_explicit_voltage_override(self):
+        circuit = build_set_circuit(gate_voltage=0.0)
+        system = CapacitanceSystem(circuit)
+        voltages = system.source_voltage_vector()
+        voltages[system.source_index["gate"]] = 0.02
+        potentials = system.island_potentials(np.zeros(1), voltages)
+        assert potentials[0] == pytest.approx(0.01)
+
+
+class TestStoredEnergy:
+    def test_neutral_unbiased_circuit_stores_nothing(self):
+        system = CapacitanceSystem(build_set_circuit())
+        assert system.stored_energy(np.zeros(1)) == pytest.approx(0.0, abs=1e-40)
+
+    def test_energy_is_positive_with_bias(self):
+        system = CapacitanceSystem(build_set_circuit(drain_voltage=0.01))
+        assert system.stored_energy(np.zeros(1)) > 0.0
+
+    def test_energy_matches_hand_computation(self):
+        # Single electron on the island of an unbiased SET: all capacitors see
+        # the island potential -e/C_sigma.
+        system = CapacitanceSystem(build_set_circuit())
+        phi = -E_CHARGE / 4e-18
+        expected = 0.5 * 4e-18 * phi**2
+        assert system.stored_energy(np.array([-E_CHARGE])) == pytest.approx(expected)
+
+
+class TestDegenerateCases:
+    def test_disconnected_island_raises(self):
+        circuit = Circuit("bad")
+        circuit.add_island("floating")
+        circuit.add_island("dot")
+        circuit.add_voltage_source("V1", "lead", 0.0)
+        circuit.add_junction("J1", "lead", "dot", 1e-18, 1e6)
+        with pytest.raises(SolverError):
+            CapacitanceSystem(circuit)
+
+    def test_no_islands_is_fine(self):
+        circuit = Circuit("empty")
+        circuit.add_voltage_source("V1", "lead", 0.01)
+        circuit.add_junction("J1", "lead", "gnd", 1e-18, 1e6)
+        system = CapacitanceSystem(circuit)
+        assert system.island_count == 0
+        assert system.island_potentials(np.zeros(0)).size == 0

@@ -1,0 +1,84 @@
+"""Tests for the AM-FM SET (modulatable gate capacitance)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_oscillations
+from repro.constants import E_CHARGE
+from repro.devices import AMFMSET, depletion_capacitance
+from repro.errors import CircuitError
+
+
+class TestDepletionCapacitance:
+    def test_zero_bias_returns_c0(self):
+        assert depletion_capacitance(0.0, 2e-18) == pytest.approx(2e-18)
+
+    def test_reverse_bias_reduces_capacitance(self):
+        assert depletion_capacitance(2.1, 2e-18, built_in_potential=0.7) == \
+            pytest.approx(1e-18)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(CircuitError):
+            depletion_capacitance(-1.0, 2e-18)
+        with pytest.raises(CircuitError):
+            depletion_capacitance(0.0, 0.0)
+
+
+class TestConfiguration:
+    def test_periods_follow_capacitances(self):
+        device = AMFMSET(gate_capacitance_low=1.5e-18, gate_capacitance_high=3e-18)
+        assert device.period_for(0) == pytest.approx(E_CHARGE / 1.5e-18)
+        assert device.period_for(1) == pytest.approx(E_CHARGE / 3e-18)
+        assert device.period_ratio() == pytest.approx(2.0)
+
+    def test_decision_period_is_geometric_mean(self):
+        device = AMFMSET(gate_capacitance_low=1.5e-18, gate_capacitance_high=3e-18)
+        assert device.decision_period() == pytest.approx(
+            np.sqrt(device.period_for(0) * device.period_for(1)))
+
+    def test_identical_capacitances_rejected(self):
+        with pytest.raises(CircuitError):
+            AMFMSET(gate_capacitance_low=2e-18, gate_capacitance_high=2e-18)
+
+    def test_invalid_bit_rejected(self):
+        device = AMFMSET()
+        with pytest.raises(CircuitError):
+            device.gate_capacitance_for(2)
+
+    def test_from_varactor_constructor(self):
+        device = AMFMSET.from_varactor(junction_capacitance=1e-18,
+                                       junction_resistance=1e6,
+                                       zero_bias_capacitance=3e-18,
+                                       low_bias=0.0, high_bias=2.1)
+        assert device.gate_capacitance_low == pytest.approx(3e-18)
+        assert device.gate_capacitance_high == pytest.approx(1.5e-18)
+
+    def test_transistor_for_carries_background_charge(self):
+        device = AMFMSET()
+        transistor = device.transistor_for(1, background_charge=0.2 * E_CHARGE)
+        assert transistor.background_charge == pytest.approx(0.2 * E_CHARGE)
+        assert transistor.gate_capacitance == pytest.approx(device.gate_capacitance_high)
+
+
+class TestSimulatedCharacteristics:
+    def test_measured_period_tracks_the_control_bit(self):
+        device = AMFMSET(junction_capacitance=1e-18, junction_resistance=1e6,
+                         gate_capacitance_low=1.5e-18, gate_capacitance_high=3e-18)
+        span = 3.0 * device.period_for(0)
+        gates = np.linspace(0.0, span, 96, endpoint=False)
+        for bit in (0, 1):
+            _, currents = device.id_vg(bit, gates, drain_voltage=0.002,
+                                       temperature=1.0)
+            analysis = analyze_oscillations(gates, currents)
+            assert analysis.period == pytest.approx(device.period_for(bit), rel=0.1)
+
+    def test_period_is_immune_to_background_charge(self):
+        device = AMFMSET()
+        span = 3.0 * device.period_for(1)
+        gates = np.linspace(0.0, span, 96, endpoint=False)
+        _, clean = device.id_vg(1, gates, 0.002, 1.0, background_charge=0.0)
+        _, dirty = device.id_vg(1, gates, 0.002, 1.0,
+                                background_charge=0.37 * E_CHARGE)
+        clean_period = analyze_oscillations(gates, clean).period
+        dirty_period = analyze_oscillations(gates, dirty).period
+        assert dirty_period == pytest.approx(clean_period, rel=0.02)

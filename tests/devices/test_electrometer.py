@@ -1,0 +1,70 @@
+"""Tests for the SET electrometer."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_CHARGE
+from repro.devices import SETElectrometer, SETTransistor
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def electrometer():
+    transistor = SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
+                               junction_resistance=1e6)
+    return SETElectrometer(transistor, temperature=0.3)
+
+
+class TestChargeSensitivity:
+    def test_steep_flank_beats_blockade_centre(self, electrometer):
+        period = electrometer.transistor.gate_period
+        flank = electrometer.charge_sensitivity(0.35 * period)
+        centre = electrometer.charge_sensitivity(0.0)
+        assert abs(flank.transconductance_per_charge) > \
+            abs(centre.transconductance_per_charge)
+
+    def test_sub_single_electron_resolution(self, electrometer):
+        # The paper: "one can build super sensitive electrometers".  At the
+        # optimum bias the equivalent charge noise must resolve far less than
+        # one electron in a 1-second (1 Hz) measurement.
+        period = electrometer.transistor.gate_period
+        result = electrometer.charge_sensitivity(0.35 * period)
+        assert result.sensitivity_e_per_sqrt_hz < 1e-2
+
+    def test_minimum_detectable_charge_scales_with_bandwidth(self, electrometer):
+        period = electrometer.transistor.gate_period
+        result = electrometer.charge_sensitivity(0.3 * period)
+        narrow = result.minimum_detectable_charge(1.0)
+        wide = result.minimum_detectable_charge(1e6)
+        assert wide == pytest.approx(narrow * 1e3, rel=1e-9)
+        with pytest.raises(AnalysisError):
+            result.minimum_detectable_charge(0.0)
+
+    def test_probe_charge_must_be_positive(self, electrometer):
+        with pytest.raises(AnalysisError):
+            electrometer.charge_sensitivity(0.0, probe_charge=0.0)
+
+
+class TestOptimisation:
+    def test_optimum_is_at_least_as_good_as_a_coarse_scan(self, electrometer):
+        period = electrometer.transistor.gate_period
+        best = electrometer.optimise_bias(np.linspace(0.0, period, 9))
+        coarse = [electrometer.charge_sensitivity(v)
+                  for v in np.linspace(0.05 * period, 0.45 * period, 3)]
+        assert best.sensitivity_e_per_sqrt_hz <= min(
+            result.sensitivity_e_per_sqrt_hz for result in coarse) * 1.001
+
+    def test_sensitivity_profile_shape(self, electrometer):
+        period = electrometer.transistor.gate_period
+        gates = np.linspace(0.0, period, 7)
+        positions, gains = electrometer.sensitivity_profile(gates)
+        assert positions.shape == gains.shape == (7,)
+        assert gains.max() > 0.0
+
+
+class TestDefaults:
+    def test_default_drain_bias_is_half_the_blockade_voltage(self):
+        transistor = SETTransistor()
+        electrometer = SETElectrometer(transistor)
+        assert electrometer.drain_voltage == pytest.approx(
+            0.5 * transistor.blockade_voltage)

@@ -1,0 +1,91 @@
+"""Tests for the single-electron box."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_CHARGE
+from repro.devices import SingleElectronBox
+from repro.errors import CircuitError
+from repro.master import MasterEquationSolver
+
+
+class TestStatics:
+    def test_gate_period(self):
+        box = SingleElectronBox(gate_capacitance=1e-18)
+        assert box.gate_period == pytest.approx(E_CHARGE / 1e-18)
+
+    def test_step_positions_at_half_integer_gate_charge(self):
+        box = SingleElectronBox()
+        assert box.step_voltage(0) == pytest.approx(0.5 * E_CHARGE / 1e-18)
+        assert box.step_voltage(1) == pytest.approx(1.5 * E_CHARGE / 1e-18)
+
+    def test_background_charge_shifts_steps(self):
+        shifted = SingleElectronBox(background_charge=0.25 * E_CHARGE)
+        plain = SingleElectronBox()
+        assert shifted.step_voltage(0) == pytest.approx(
+            plain.step_voltage(0) - 0.25 * E_CHARGE / 1e-18)
+
+    def test_ground_state_staircase(self):
+        box = SingleElectronBox()
+        period = box.gate_period
+        gates = np.linspace(0.0, 3.0 * period, 200)
+        _, electrons = box.charge_staircase(gates)
+        # Starts at 0, ends at 3, and never moves by more than one electron.
+        assert electrons[0] == 0
+        assert electrons[-1] == 3
+        assert np.all(np.diff(electrons) >= 0)
+        assert np.all(np.diff(electrons) <= 1)
+
+    def test_step_at_the_predicted_position(self):
+        box = SingleElectronBox()
+        just_below = box.ground_state_electrons(box.step_voltage(0) * 0.999)
+        just_above = box.ground_state_electrons(box.step_voltage(0) * 1.001)
+        assert just_below == 0
+        assert just_above == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CircuitError):
+            SingleElectronBox(junction_capacitance=0.0)
+
+
+class TestThermalSmearing:
+    def test_zero_temperature_matches_staircase(self):
+        box = SingleElectronBox()
+        gates = np.linspace(0.0, 2.0 * box.gate_period, 50)
+        _, cold = box.mean_electrons(gates, temperature=0.0)
+        _, staircase = box.charge_staircase(gates)
+        assert np.allclose(cold, staircase)
+
+    def test_finite_temperature_rounds_the_steps(self):
+        box = SingleElectronBox()
+        step = box.step_voltage(0)
+        # Exactly at the step the mean electron number is 1/2 at any T > 0.
+        _, mean = box.mean_electrons([step], temperature=1.0)
+        assert mean[0] == pytest.approx(0.5, abs=0.02)
+
+    def test_high_temperature_washes_out_quantisation(self):
+        box = SingleElectronBox()
+        quarter = 0.25 * box.gate_period
+        _, cold = box.mean_electrons([quarter], temperature=0.1)
+        _, hot = box.mean_electrons([quarter], temperature=100.0)
+        # Cold: pinned near 0; hot: drifts towards the induced charge 0.125.
+        assert cold[0] == pytest.approx(0.0, abs=0.01)
+        assert hot[0] > 0.05
+
+    def test_gibbs_average_matches_master_equation(self):
+        box = SingleElectronBox()
+        gate_voltage = 0.4 * box.gate_period
+        _, gibbs = box.mean_electrons([gate_voltage], temperature=2.0)
+        circuit = box.build_circuit(gate_voltage=gate_voltage)
+        solution = MasterEquationSolver(circuit, temperature=2.0).solve()
+        assert gibbs[0] == pytest.approx(solution.mean_electron_numbers()[0], abs=0.02)
+
+
+class TestCircuit:
+    def test_build_circuit_structure(self):
+        box = SingleElectronBox()
+        circuit = box.build_circuit(gate_voltage=0.01)
+        assert circuit.island_count == 1
+        assert len(circuit.junctions()) == 1
+        assert len(circuit.capacitors()) == 1
+        assert circuit.total_capacitance("box") == pytest.approx(2e-18)

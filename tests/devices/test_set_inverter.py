@@ -1,0 +1,79 @@
+"""Tests for the complementary SET inverter."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_CHARGE
+from repro.devices import SETInverter
+from repro.errors import CircuitError
+from repro.logic import characterize_inverter
+
+
+@pytest.fixture(scope="module")
+def inverter():
+    return SETInverter(junction_capacitance=1e-18, junction_resistance=1e6,
+                       gate_capacitance=2e-18, load_capacitance=10e-18)
+
+
+class TestParameters:
+    def test_theoretical_gain_is_cg_over_cj(self, inverter):
+        assert inverter.theoretical_gain == pytest.approx(2.0)
+
+    def test_default_supply_is_half_e_over_csigma(self, inverter):
+        assert inverter.vdd == pytest.approx(0.5 * E_CHARGE / 4e-18)
+
+    def test_explicit_supply_override(self):
+        inverter = SETInverter(supply_voltage=0.01)
+        assert inverter.vdd == pytest.approx(0.01)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(CircuitError):
+            SETInverter(junction_capacitance=0.0)
+
+
+class TestCircuit:
+    def test_structure(self, inverter):
+        circuit = inverter.build_circuit(input_voltage=0.0)
+        assert circuit.island_count == 3
+        assert len(circuit.junctions()) == 4
+        # Complementary bias: e/2 offset on the upper island only.
+        assert circuit.node("island_up").offset_charge == pytest.approx(0.5 * E_CHARGE)
+        assert circuit.node("island_dn").offset_charge == 0.0
+
+    def test_extra_offsets_are_added(self, inverter):
+        circuit = inverter.build_circuit(0.0, offsets={"island_dn": 0.1 * E_CHARGE})
+        assert circuit.node("island_dn").offset_charge == pytest.approx(0.1 * E_CHARGE)
+
+
+class TestTransferCurve:
+    def test_inverts_logic_levels(self, inverter):
+        high, low = inverter.logic_levels(temperature=0.2)
+        # Input 0 -> output high; input half a period -> output low.
+        assert high > 0.6 * inverter.vdd
+        assert low < 0.25 * inverter.vdd
+
+    def test_transfer_curve_has_gain_above_one(self, inverter):
+        period = E_CHARGE / inverter.gate_capacitance
+        inputs = np.linspace(0.0, 0.5 * period, 17)
+        vin, vout = inverter.transfer_curve(inputs, temperature=0.2)
+        metrics = characterize_inverter(vin, vout)
+        assert metrics.peak_gain > 1.0
+        assert metrics.swing > 0.5 * inverter.vdd
+
+    def test_background_charge_scrambles_the_levels(self, inverter):
+        # The fragility the paper worries about: an e/2 offset on the lower
+        # island swaps the roles of the two SETs, so the "inverter" output for
+        # a logic-1 input ends up *above* the output for a logic-0 input.
+        clean_high, clean_low = inverter.logic_levels(temperature=0.2)
+        scrambled_high, scrambled_low = inverter.logic_levels(
+            temperature=0.2, offsets={"island_dn": 0.5 * E_CHARGE})
+        clean_swing = clean_high - clean_low
+        scrambled_swing = scrambled_high - scrambled_low
+        assert clean_swing > 0.0
+        assert scrambled_swing < 0.3 * clean_swing
+
+    def test_measured_gain_increases_with_gate_capacitance(self):
+        low_gain = SETInverter(gate_capacitance=1e-18)
+        high_gain = SETInverter(gate_capacitance=4e-18)
+        assert high_gain.measured_gain(temperature=0.2, points=17) > \
+            low_gain.measured_gain(temperature=0.2, points=17)

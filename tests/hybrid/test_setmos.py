@@ -1,0 +1,87 @@
+"""Tests for the series SET-MOS stack."""
+
+import numpy as np
+import pytest
+
+from repro.compact import AnalyticSETModel, MOSFETModel
+from repro.constants import E_CHARGE
+from repro.errors import CircuitError
+from repro.hybrid import OUTPUT_NODE, SETMOSStack
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return SETMOSStack(set_model=AnalyticSETModel(temperature=10.0),
+                       mosfet_model=MOSFETModel(transconductance=2e-5),
+                       supply_voltage=1.0)
+
+
+class TestConstruction:
+    def test_auto_bias_is_chosen(self, stack):
+        assert stack.bias_voltage is not None
+        assert 0.0 < stack.bias_voltage < stack.supply_voltage
+
+    def test_device_count(self, stack):
+        assert stack.device_count == 2
+
+    def test_build_circuit_structure(self, stack):
+        circuit = stack.build_circuit(input_voltage=0.01)
+        assert set(circuit.free_nodes) == {OUTPUT_NODE}
+        assert circuit.source_voltage("VIN") == pytest.approx(0.01)
+        assert len(circuit) == 2
+
+    def test_invalid_supply_rejected(self):
+        with pytest.raises(CircuitError):
+            SETMOSStack(supply_voltage=0.0)
+
+    def test_bias_for_current_inverts_the_mosfet(self, stack):
+        bias = stack.bias_for_current(1e-9)
+        current = stack.mosfet_model.drain_current(bias, 0.5 * stack.supply_voltage)
+        assert abs(current) == pytest.approx(1e-9, rel=0.01)
+
+
+class TestTransferCharacteristic:
+    def test_output_stays_between_the_rails(self, stack):
+        period = stack.set_model.gate_period
+        _, outputs = stack.transfer_curve(np.linspace(0.0, 2.0 * period, 41))
+        assert np.all(outputs > -0.01)
+        assert np.all(outputs < stack.supply_voltage)
+
+    def test_output_is_periodic_in_the_input(self, stack):
+        period = stack.set_model.gate_period
+        inputs = np.linspace(0.0, 2.0 * period, 41)
+        _, outputs = stack.transfer_curve(inputs)
+        half = len(inputs) // 2
+        assert np.allclose(outputs[:half], outputs[half:-1], atol=3e-3)
+
+    def test_output_is_modulated_by_the_gate(self, stack):
+        period = stack.set_model.gate_period
+        _, outputs = stack.transfer_curve(np.linspace(0.0, period, 21))
+        # The literal gate must swing by a sizeable fraction of the blockade
+        # voltage over one period.
+        blockade = E_CHARGE / stack.set_model.total_capacitance
+        assert np.ptp(outputs) > 0.3 * blockade
+
+    def test_single_point_and_sweep_agree(self, stack):
+        period = stack.set_model.gate_period
+        value = stack.output_voltage(0.3 * period)
+        _, outputs = stack.transfer_curve([0.3 * period])
+        assert value == pytest.approx(outputs[0], abs=1e-5)
+
+    def test_current_curve_matches_mosfet_budget(self, stack):
+        period = stack.set_model.gate_period
+        _, currents = stack.current_curve(np.linspace(0.0, period, 11))
+        saturation = stack.mosfet_model.saturation_current(
+            stack.bias_voltage)
+        assert np.all(np.abs(currents) <= 1.5 * saturation)
+
+
+class TestPower:
+    def test_power_is_supply_times_current(self, stack):
+        power = stack.power_dissipation(0.0)
+        current = stack.operating_current(0.0)
+        assert power == pytest.approx(stack.supply_voltage * current)
+
+    def test_nanowatt_class_operation(self, stack):
+        # The hybrid cell burns far less than a microwatt.
+        assert stack.power_dissipation(0.0) < 1e-6

@@ -1,0 +1,104 @@
+"""Cross-validation between the three simulation engines.
+
+The paper's §4 argues for using SPICE-style compact models *and* dedicated
+Monte-Carlo simulators side by side.  These tests check that, where their
+domains of validity overlap, all three engines of this package (master
+equation, kinetic Monte Carlo, compact model) agree on the same circuit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compact import AnalyticSETModel, MasterEquationSETModel
+from repro.constants import E_CHARGE
+from repro.devices import SETTransistor
+from repro.master import MasterEquationSolver
+from repro.montecarlo import MonteCarloSimulator
+
+from ..conftest import build_set_circuit
+
+GATE_PERIOD = E_CHARGE / 2e-18
+BLOCKADE_VOLTAGE = E_CHARGE / 4e-18
+
+
+class TestMasterVersusMonteCarlo:
+    @pytest.mark.parametrize("drain_voltage,gate_voltage", [
+        (0.05, 0.04),           # conducting, near a degeneracy
+        (0.06, 0.0),            # just above the blockade threshold
+        (0.03, 0.5 * GATE_PERIOD),  # small bias at the degeneracy point
+    ])
+    def test_stationary_currents_agree(self, drain_voltage, gate_voltage):
+        reference = MasterEquationSolver(
+            build_set_circuit(drain_voltage=drain_voltage, gate_voltage=gate_voltage),
+            temperature=1.0).current("J_drain")
+        simulator = MonteCarloSimulator(
+            build_set_circuit(drain_voltage=drain_voltage, gate_voltage=gate_voltage),
+            temperature=1.0, seed=101)
+        estimate = simulator.stationary_current("J_drain", max_events=12000,
+                                                warmup_events=1000)
+        assert estimate.agrees_with(reference, sigmas=5.0,
+                                    absolute=0.03 * abs(reference))
+
+    def test_occupation_probabilities_agree(self):
+        circuit = build_set_circuit(drain_voltage=0.05, gate_voltage=0.04)
+        steady = MasterEquationSolver(circuit, temperature=1.0).solve()
+        from repro.montecarlo import OccupationStatistics
+
+        simulator = MonteCarloSimulator(
+            build_set_circuit(drain_voltage=0.05, gate_voltage=0.04),
+            temperature=1.0, seed=55)
+        occupation = OccupationStatistics()
+        state = simulator.new_state()
+        simulator.run(max_events=1000, state=state)           # warm-up
+        simulator.run(max_events=20000, state=state, occupation=occupation)
+        monte_carlo = occupation.probabilities()
+        for configuration, probability in monte_carlo.items():
+            if probability > 0.05:
+                assert probability == pytest.approx(
+                    steady.occupation_probability(configuration), abs=0.05)
+
+
+class TestCompactVersusMaster:
+    def test_id_vg_curves_agree_at_low_bias(self):
+        analytic = AnalyticSETModel(temperature=2.0)
+        transistor = SETTransistor(junction_capacitance=1e-18,
+                                   gate_capacitance=2e-18,
+                                   junction_resistance=1e6)
+        gates = np.linspace(0.0, 2.0 * GATE_PERIOD, 25)
+        _, exact = transistor.id_vg(gates, drain_voltage=0.005, temperature=2.0)
+        compact = np.array([analytic.drain_current(0.005, vg) for vg in gates])
+        scale = exact.max()
+        assert np.sqrt(np.mean((exact - compact) ** 2)) < 0.03 * scale
+
+    def test_master_backed_compact_model_is_consistent_with_direct_solve(self):
+        model = MasterEquationSETModel(temperature=1.0)
+        circuit = build_set_circuit(drain_voltage=0.05, gate_voltage=0.04)
+        direct = MasterEquationSolver(circuit, temperature=1.0).current("J_drain")
+        assert model.drain_current(0.05, 0.04) == pytest.approx(direct, rel=1e-6)
+
+    def test_compact_model_misses_cotunneling_by_construction(self):
+        # Deep in the blockade the compact model says zero; the Monte-Carlo
+        # engine with co-tunnelling does not.  This is the accuracy gap the
+        # paper's "combination of both simulator types" is meant to bridge.
+        analytic = AnalyticSETModel(temperature=0.0)
+        bias = 0.6 * BLOCKADE_VOLTAGE
+        assert analytic.drain_current(bias, 0.0) == pytest.approx(0.0, abs=1e-20)
+        simulator = MonteCarloSimulator(
+            build_set_circuit(drain_voltage=bias, gate_voltage=0.0),
+            temperature=0.0, seed=3, include_cotunneling=True)
+        leak = simulator.stationary_current("J_drain", max_events=600,
+                                            warmup_events=0)
+        assert leak.mean > 0.0
+
+
+class TestDeviceLevelConsistency:
+    def test_transistor_wrapper_matches_raw_master_solution(self):
+        transistor = SETTransistor(junction_capacitance=1e-18,
+                                   gate_capacitance=2e-18,
+                                   junction_resistance=1e6)
+        gates = np.array([0.01, 0.04])
+        _, wrapped = transistor.id_vg(gates, drain_voltage=0.05, temperature=1.0)
+        for gate_voltage, expected in zip(gates, wrapped):
+            circuit = build_set_circuit(drain_voltage=0.05, gate_voltage=gate_voltage)
+            direct = MasterEquationSolver(circuit, temperature=1.0).current("J_drain")
+            assert expected == pytest.approx(direct, rel=1e-9)

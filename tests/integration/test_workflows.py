@@ -1,0 +1,78 @@
+"""End-to-end workflows: netlist -> simulation -> analysis -> results file."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_oscillations
+from repro.circuit import parse_netlist, write_netlist
+from repro.constants import E_CHARGE
+from repro.devices import SETTransistor
+from repro.io import SweepRecord
+from repro.master import MasterEquationSolver
+from repro.montecarlo import MonteCarloSimulator
+
+
+SET_DECK = """
+.circuit quickstart
+island dot
+vsource VD drain 2mV
+vsource VG gate  0V
+junction J_drain drain dot c=1aF r=1MOhm
+junction J_source dot gnd  c=1aF r=1MOhm
+cap C_gate gate dot c=2aF
+.end
+"""
+
+
+class TestNetlistToAnalysisPipeline:
+    def test_parse_sweep_analyse_and_export(self, tmp_path):
+        circuit = parse_netlist(SET_DECK)
+        solver = MasterEquationSolver(circuit, temperature=1.0)
+        gates = np.linspace(0.0, 0.24, 96, endpoint=False)
+        _, currents = solver.sweep_source("VG", gates, "J_drain")
+
+        analysis = analyze_oscillations(gates, currents)
+        assert analysis.period == pytest.approx(E_CHARGE / 2e-18, rel=0.05)
+
+        record = SweepRecord(name="quickstart_id_vg", sweep_label="V_gate [V]",
+                             sweep_values=gates,
+                             traces={"I_drain [A]": currents},
+                             metadata={"temperature_K": "1.0"})
+        path = tmp_path / "id_vg.csv"
+        record.to_csv(path)
+        recovered = SweepRecord.from_csv(path)
+        assert np.allclose(recovered.trace("I_drain [A]"), currents)
+
+    def test_netlist_roundtrip_preserves_simulated_current(self):
+        original = parse_netlist(SET_DECK)
+        recovered = parse_netlist(write_netlist(original))
+        current_a = MasterEquationSolver(original, temperature=1.0).current("J_drain")
+        current_b = MasterEquationSolver(recovered, temperature=1.0).current("J_drain")
+        assert current_a == pytest.approx(current_b, rel=1e-12)
+
+
+class TestTrapWorkflow:
+    def test_telegraph_noise_alters_transport_statistics(self):
+        device = SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
+                               junction_resistance=1e6)
+        quiet_circuit = device.build_circuit(drain_voltage=0.05, gate_voltage=0.02)
+        noisy_circuit = device.build_circuit(drain_voltage=0.05, gate_voltage=0.02)
+        noisy_circuit.add_charge_trap("trap", "dot", coupling=0.4 * E_CHARGE,
+                                      capture_time=2e-9, emission_time=2e-9)
+        quiet = MonteCarloSimulator(quiet_circuit, temperature=0.5, seed=21) \
+            .stationary_current("J_drain", max_events=6000, warmup_events=500)
+        noisy = MonteCarloSimulator(noisy_circuit, temperature=0.5, seed=21) \
+            .stationary_current("J_drain", max_events=6000, warmup_events=500)
+        # The fluctuating offset charge moves the operating point around the
+        # flank, changing the average current appreciably (well beyond the
+        # Monte-Carlo uncertainty and by at least several percent).
+        assert abs(noisy.mean - quiet.mean) > 3.0 * (noisy.stderr + quiet.stderr)
+        assert abs(noisy.mean - quiet.mean) > 0.05 * abs(quiet.mean)
+
+    def test_device_report_contains_consistent_figures(self):
+        device = SETTransistor(junction_capacitance=0.5e-18, gate_capacitance=1e-18,
+                               junction_resistance=2e6)
+        assert device.gate_period == pytest.approx(E_CHARGE / 1e-18)
+        assert device.blockade_voltage == pytest.approx(E_CHARGE / 2e-18)
+        assert device.max_operating_temperature() == pytest.approx(
+            device.charging_energy / (40.0 * 1.380649e-23))

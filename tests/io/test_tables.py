@@ -1,0 +1,44 @@
+"""Tests for ASCII table formatting."""
+
+import pytest
+
+from repro.io import format_table, format_value
+
+
+class TestFormatValue:
+    def test_integers_pass_through(self):
+        assert format_value(42) == "42"
+
+    def test_booleans_are_yes_no(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_small_floats_use_scientific_notation(self):
+        assert "e-" in format_value(1.23e-9)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_moderate_floats_stay_plain(self):
+        assert format_value(3.14159, precision=3) == "3.14"
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.0], ["beta", 2.5]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+        assert "beta" in lines[4]
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1, 2, 3]])
+
+    def test_empty_rows_allowed(self):
+        text = format_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,52 @@
+"""Tests for direct (voltage-level) coding on a SET."""
+
+import pytest
+
+from repro.constants import E_CHARGE
+from repro.devices import SETTransistor
+from repro.errors import EncodingError
+from repro.logic import DirectCodedSETLogic
+
+
+@pytest.fixture(scope="module")
+def direct_logic():
+    transistor = SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
+                               junction_resistance=1e6)
+    return DirectCodedSETLogic(transistor, temperature=0.5)
+
+
+class TestCalibration:
+    def test_gate_levels_are_blockade_and_peak(self, direct_logic):
+        period = direct_logic.transistor.gate_period
+        assert direct_logic.gate_voltages[0] == pytest.approx(0.0)
+        assert direct_logic.gate_voltages[1] == pytest.approx(0.5 * period)
+
+    def test_threshold_lies_between_the_calibrated_levels(self, direct_logic):
+        low = direct_logic._current(direct_logic.gate_voltages[0], 0.0)
+        high = direct_logic._current(direct_logic.gate_voltages[1], 0.0)
+        assert low < direct_logic.threshold_current < high
+
+    def test_decision_is_instantaneous(self, direct_logic):
+        assert direct_logic.decision_periods == 0.0
+
+
+class TestDecoding:
+    def test_clean_device_decodes_both_bits(self, direct_logic):
+        for bit in (0, 1):
+            reading = direct_logic.transmit_and_decode(bit, background_charge=0.0)
+            assert reading.bit == bit
+            assert reading.margin > 0.0
+
+    def test_half_electron_offset_flips_the_decision(self, direct_logic):
+        # A background charge of e/2 moves the blockade onto the nominal '1'
+        # point and the peak onto the nominal '0' point: both bits decode wrong.
+        assert not direct_logic.is_correct(1, 0.5 * E_CHARGE)
+        assert not direct_logic.is_correct(0, 0.5 * E_CHARGE)
+
+    def test_small_offset_is_tolerated(self, direct_logic):
+        assert direct_logic.is_correct(0, 0.05 * E_CHARGE)
+        assert direct_logic.is_correct(1, 0.05 * E_CHARGE)
+
+    def test_invalid_bit_rejected(self, direct_logic):
+        with pytest.raises(EncodingError):
+            direct_logic.transmit_and_decode(2, 0.0)

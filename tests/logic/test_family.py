@@ -1,0 +1,84 @@
+"""Tests for logic-family characterisation and the gain/temperature trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BOLTZMANN, E_CHARGE
+from repro.errors import AnalysisError
+from repro.logic import characterize_inverter, gain_temperature_tradeoff
+
+
+def synthetic_transfer(gain=4.0, swing=1.0, points=101):
+    """An idealised inverter curve with a linear transition of known gain."""
+    vin = np.linspace(0.0, 1.0, points)
+    centre = 0.5
+    vout = np.clip(swing / 2.0 - gain * (vin - centre), 0.0, swing)
+    return vin, vout
+
+
+class TestCharacterizeInverter:
+    def test_levels_and_swing(self):
+        vin, vout = synthetic_transfer()
+        metrics = characterize_inverter(vin, vout)
+        assert metrics.output_high == pytest.approx(1.0)
+        assert metrics.output_low == pytest.approx(0.0)
+        assert metrics.swing == pytest.approx(1.0)
+
+    def test_peak_gain_matches_construction(self):
+        vin, vout = synthetic_transfer(gain=4.0)
+        metrics = characterize_inverter(vin, vout)
+        assert metrics.peak_gain == pytest.approx(4.0, rel=0.15)
+        assert metrics.has_gain
+
+    def test_noise_margins_positive_for_a_good_inverter(self):
+        vin, vout = synthetic_transfer(gain=6.0)
+        metrics = characterize_inverter(vin, vout)
+        assert metrics.noise_margin_high > 0.0
+        assert metrics.noise_margin_low > 0.0
+
+    def test_gainless_curve_is_flagged(self):
+        vin = np.linspace(0.0, 1.0, 51)
+        vout = 0.6 - 0.5 * vin  # slope magnitude 0.5 < 1
+        metrics = characterize_inverter(vin, vout)
+        assert not metrics.has_gain
+
+    def test_rising_curve_rejected(self):
+        vin = np.linspace(0.0, 1.0, 21)
+        with pytest.raises(AnalysisError):
+            characterize_inverter(vin, vin)
+
+    def test_non_monotonic_input_rejected(self):
+        with pytest.raises(AnalysisError):
+            characterize_inverter([0.0, 0.2, 0.1, 0.4, 0.6], [1, 0.9, 0.8, 0.2, 0.1])
+
+
+class TestGainTemperatureTradeoff:
+    def test_gain_column_matches_request(self):
+        rows = gain_temperature_tradeoff(1e-18, gains=[0.5, 1.0, 2.0, 4.0])
+        assert [row.gain for row in rows] == [0.5, 1.0, 2.0, 4.0]
+
+    def test_higher_gain_means_lower_operating_temperature(self):
+        rows = gain_temperature_tradeoff(1e-18, gains=[0.5, 1.0, 2.0, 4.0])
+        temperatures = [row.max_operating_temperature for row in rows]
+        assert all(earlier > later for earlier, later in zip(temperatures,
+                                                             temperatures[1:]))
+
+    def test_temperature_formula(self):
+        rows = gain_temperature_tradeoff(1e-18, gains=[2.0])
+        row = rows[0]
+        expected_total = 2e-18 + 2e-18
+        assert row.total_capacitance == pytest.approx(expected_total)
+        assert row.max_operating_temperature == pytest.approx(
+            E_CHARGE**2 / (2.0 * expected_total) / (40.0 * BOLTZMANN))
+
+    def test_extra_capacitance_lowers_temperature_further(self):
+        bare = gain_temperature_tradeoff(1e-18, gains=[1.0])[0]
+        loaded = gain_temperature_tradeoff(1e-18, gains=[1.0],
+                                           extra_capacitance=2e-18)[0]
+        assert loaded.max_operating_temperature < bare.max_operating_temperature
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            gain_temperature_tradeoff(0.0, gains=[1.0])
+        with pytest.raises(AnalysisError):
+            gain_temperature_tradeoff(1e-18, gains=[-1.0])

@@ -1,0 +1,89 @@
+"""Tests for multi-valued-logic level analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.logic import (
+    detect_levels,
+    quantization_error,
+    staircase_monotonicity,
+)
+
+
+def synthetic_staircase(levels=4, samples_per_level=20, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    outputs = []
+    inputs = []
+    for level in range(levels):
+        for sample in range(samples_per_level):
+            inputs.append(level + sample / samples_per_level)
+            outputs.append(level * 1.0 + noise * rng.standard_normal())
+    return np.array(inputs), np.array(outputs)
+
+
+class TestDetectLevels:
+    def test_counts_clean_levels(self):
+        _, outputs = synthetic_staircase(levels=4)
+        analysis = detect_levels(outputs, minimum_separation=0.5)
+        assert analysis.level_count == 4
+        assert analysis.separation == pytest.approx(1.0)
+        assert analysis.uniformity == pytest.approx(1.0)
+
+    def test_noisy_levels_are_still_found(self):
+        _, outputs = synthetic_staircase(levels=5, noise=0.05, seed=3)
+        analysis = detect_levels(outputs, minimum_separation=0.5)
+        assert analysis.level_count == 5
+
+    def test_single_level(self):
+        analysis = detect_levels(np.full(10, 3.3))
+        assert analysis.level_count == 1
+        assert analysis.separation == 0.0
+
+    def test_uniformity_detects_unequal_spacing(self):
+        outputs = np.concatenate([np.full(10, 0.0), np.full(10, 1.0),
+                                  np.full(10, 3.0)])
+        analysis = detect_levels(outputs, minimum_separation=0.5)
+        assert analysis.level_count == 3
+        assert analysis.uniformity == pytest.approx(0.5)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(AnalysisError):
+            detect_levels([1.0, 2.0])
+
+    def test_invalid_separation_rejected(self):
+        with pytest.raises(AnalysisError):
+            detect_levels([1.0, 2.0, 3.0, 4.0], minimum_separation=0.0)
+
+
+class TestStaircaseMonotonicity:
+    def test_perfect_staircase(self):
+        inputs, outputs = synthetic_staircase(levels=4)
+        assert staircase_monotonicity(inputs, outputs) == pytest.approx(1.0)
+
+    def test_rippling_curve_scores_lower(self):
+        inputs = np.linspace(0.0, 4.0, 80)
+        outputs = np.sin(2.0 * np.pi * inputs)
+        assert staircase_monotonicity(inputs, outputs) < 0.8
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(AnalysisError):
+            staircase_monotonicity([0.0, 1.0], [0.0, 1.0, 2.0])
+
+
+class TestQuantizationError:
+    def test_zero_for_ideal_staircase(self):
+        inputs, outputs = synthetic_staircase(levels=3)
+        assert quantization_error(inputs, outputs, [0.0, 1.0, 2.0]) == \
+            pytest.approx(0.0, abs=1e-12)
+
+    def test_grows_with_noise(self):
+        inputs, clean = synthetic_staircase(levels=3)
+        _, noisy = synthetic_staircase(levels=3, noise=0.2, seed=4)
+        levels = [0.0, 1.0, 2.0]
+        assert quantization_error(inputs, noisy, levels) > \
+            quantization_error(inputs, clean, levels)
+
+    def test_needs_at_least_one_level(self):
+        with pytest.raises(AnalysisError):
+            quantization_error([0.0], [0.0], [])

@@ -1,0 +1,71 @@
+"""Tests for the SET-versus-CMOS power model."""
+
+import pytest
+
+from repro.constants import BOLTZMANN, E_CHARGE
+from repro.errors import AnalysisError
+from repro.logic import (
+    cmos_switching_energy,
+    compare_logic_power,
+    dynamic_power,
+    set_switching_energy,
+    static_power,
+    thermodynamic_limit,
+)
+
+
+class TestEnergyFormulas:
+    def test_set_switching_energy_is_e_times_vdd(self):
+        assert set_switching_energy(0.02) == pytest.approx(E_CHARGE * 0.02)
+
+    def test_multiple_electrons_scale_linearly(self):
+        assert set_switching_energy(0.02, electrons_per_event=3) == \
+            pytest.approx(3.0 * E_CHARGE * 0.02)
+
+    def test_cmos_switching_energy_is_cv_squared(self):
+        assert cmos_switching_energy(1e-15, 1.0) == pytest.approx(1e-15)
+
+    def test_dynamic_power(self):
+        assert dynamic_power(1e-15, 1e9, activity_factor=0.1) == pytest.approx(1e-7)
+
+    def test_static_power(self):
+        assert static_power(1e-9, 1.0) == pytest.approx(1e-9)
+
+    def test_landauer_limit_at_room_temperature(self):
+        assert thermodynamic_limit(300.0) == pytest.approx(
+            BOLTZMANN * 300.0 * 0.6931471805599453)
+
+    def test_set_energy_is_above_the_landauer_limit(self):
+        # Even single-electron logic at 20 mV is far above k T ln 2 at 4 K.
+        assert set_switching_energy(0.02) > thermodynamic_limit(4.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AnalysisError):
+            set_switching_energy(0.0)
+        with pytest.raises(AnalysisError):
+            cmos_switching_energy(-1e-15, 1.0)
+        with pytest.raises(AnalysisError):
+            dynamic_power(1e-15, 1e9, activity_factor=2.0)
+        with pytest.raises(AnalysisError):
+            thermodynamic_limit(0.0)
+
+
+class TestComparison:
+    def test_set_wins_on_switching_energy_by_orders_of_magnitude(self):
+        comparison = compare_logic_power(set_supply_voltage=0.02)
+        # e * 20 mV ~ 3 zJ versus C V^2 ~ 1 fJ: five orders of magnitude.
+        assert comparison.energy_advantage > 1e4
+
+    def test_set_wins_on_total_power(self):
+        comparison = compare_logic_power(set_supply_voltage=0.02)
+        assert comparison.power_advantage > 1e2
+        assert comparison.set_total_power < comparison.cmos_total_power
+
+    def test_power_scales_with_frequency(self):
+        slow = compare_logic_power(0.02, frequency=1e6)
+        fast = compare_logic_power(0.02, frequency=1e9)
+        assert fast.set_dynamic_power == pytest.approx(1e3 * slow.set_dynamic_power)
+
+    def test_frequency_is_recorded(self):
+        comparison = compare_logic_power(0.02, frequency=5e8)
+        assert comparison.frequency == pytest.approx(5e8)

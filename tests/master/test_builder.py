@@ -1,0 +1,66 @@
+"""Tests for the rate-matrix builder."""
+
+import numpy as np
+import pytest
+
+from repro.master import RateMatrixBuilder, build_state_space
+
+from ..conftest import build_set_circuit
+
+
+class TestTransitions:
+    def test_transitions_stay_inside_window(self):
+        builder = RateMatrixBuilder(build_set_circuit(drain_voltage=0.05),
+                                    temperature=1.0)
+        space = build_state_space([(-1, 1)])
+        for transition in builder.transitions(space):
+            assert 0 <= transition.source_index < space.size
+            assert 0 <= transition.target_index < space.size
+            assert transition.rate > 0.0
+
+    def test_neighbouring_states_differ_by_one_electron(self):
+        builder = RateMatrixBuilder(build_set_circuit(drain_voltage=0.05),
+                                    temperature=1.0)
+        space = build_state_space([(-2, 2)])
+        for transition in builder.transitions(space):
+            source = space.states[transition.source_index]
+            target = space.states[transition.target_index]
+            assert abs(source[0] - target[0]) == 1
+
+    def test_blockaded_circuit_at_low_temperature_has_few_transitions(self):
+        cold = RateMatrixBuilder(build_set_circuit(drain_voltage=0.001),
+                                 temperature=0.01)
+        warm = RateMatrixBuilder(build_set_circuit(drain_voltage=0.001),
+                                 temperature=5.0)
+        space = build_state_space([(-2, 2)])
+        assert len(cold.transitions(space)) < len(warm.transitions(space))
+
+
+class TestGeneratorMatrix:
+    def test_columns_sum_to_zero(self):
+        builder = RateMatrixBuilder(build_set_circuit(drain_voltage=0.05,
+                                                      gate_voltage=0.04),
+                                    temperature=1.0)
+        matrix, _, space = builder.generator_matrix()
+        assert matrix.shape == (space.size, space.size)
+        assert np.allclose(matrix.sum(axis=0), 0.0, atol=1e-6 * np.abs(matrix).max())
+
+    def test_off_diagonals_non_negative(self):
+        builder = RateMatrixBuilder(build_set_circuit(drain_voltage=0.05),
+                                    temperature=1.0)
+        matrix, _, _ = builder.generator_matrix()
+        off_diagonal = matrix - np.diag(np.diag(matrix))
+        assert np.all(off_diagonal >= 0.0)
+
+    def test_explicit_state_space_is_respected(self):
+        space = build_state_space([(-1, 1)])
+        builder = RateMatrixBuilder(build_set_circuit(drain_voltage=0.05),
+                                    temperature=1.0, state_space=space)
+        matrix, _, used_space = builder.generator_matrix()
+        assert used_space is space
+        assert matrix.shape == (3, 3)
+
+    def test_negative_temperature_rejected(self):
+        from repro.errors import StateSpaceError
+        with pytest.raises(StateSpaceError):
+            RateMatrixBuilder(build_set_circuit(), temperature=-1.0)

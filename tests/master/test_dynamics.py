@@ -1,0 +1,93 @@
+"""Tests for the transient master-equation solver."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_CHARGE
+from repro.errors import SolverError
+from repro.master import MasterEquationDynamics, MasterEquationSolver
+
+from ..conftest import build_set_circuit
+
+GATE_PERIOD = E_CHARGE / 2e-18
+
+
+class TestEvolution:
+    def test_probabilities_remain_normalised(self, set_circuit):
+        dynamics = MasterEquationDynamics(set_circuit, temperature=1.0)
+        times = np.linspace(0.0, 1e-9, 20)
+        result = dynamics.evolve(times)
+        assert np.allclose(result.probabilities.sum(axis=1), 1.0)
+
+    def test_relaxes_to_steady_state(self, set_circuit):
+        dynamics = MasterEquationDynamics(set_circuit, temperature=1.0)
+        steady = MasterEquationSolver(set_circuit, temperature=1.0).solve()
+        # Long compared with the RC/tunnelling time of ~1e-12 s.
+        times = np.array([0.0, 1e-10, 1e-9, 1e-8])
+        result = dynamics.evolve(times)
+        final = result.final_probabilities()
+        for state, probability in zip(result.space.states, final):
+            assert probability == pytest.approx(
+                steady.occupation_probability(state), abs=0.02)
+
+    def test_transient_current_approaches_steady_current(self, set_circuit):
+        dynamics = MasterEquationDynamics(set_circuit, temperature=1.0)
+        steady = MasterEquationSolver(set_circuit, temperature=1.0).solve()
+        result = dynamics.evolve(np.linspace(0.0, 5e-9, 30))
+        assert result.current("J_drain")[-1] == pytest.approx(
+            steady.current("J_drain"), rel=0.05)
+
+    def test_custom_initial_condition(self):
+        circuit = build_set_circuit(gate_voltage=1.0 * GATE_PERIOD)
+        dynamics = MasterEquationDynamics(circuit, temperature=0.5)
+        result = dynamics.evolve(np.linspace(0.0, 1e-8, 10), initial={(0,): 1.0})
+        # The electron number must relax from 0 towards the gate-induced value 1.
+        assert result.mean_electrons[0, 0] == pytest.approx(0.0, abs=1e-9)
+        assert result.mean_electrons[-1, 0] == pytest.approx(1.0, abs=0.1)
+
+    def test_mean_electrons_shape(self, set_circuit):
+        dynamics = MasterEquationDynamics(set_circuit, temperature=1.0)
+        result = dynamics.evolve(np.linspace(0.0, 1e-9, 7))
+        assert result.mean_electrons.shape == (7, 1)
+        assert result.junction_currents.shape == (7, 2)
+
+
+class TestRelaxationTime:
+    def test_relaxation_time_is_positive_and_fast(self, set_circuit):
+        dynamics = MasterEquationDynamics(set_circuit, temperature=1.0)
+        tau = dynamics.relaxation_time()
+        assert tau > 0.0
+        # Tunnelling at MHz-GHz rates: relaxation well below a microsecond.
+        assert tau < 1e-6
+
+    def test_higher_resistance_slows_relaxation(self):
+        fast = MasterEquationDynamics(
+            build_set_circuit(drain_voltage=0.05, gate_voltage=0.04,
+                              junction_resistance=1e6), temperature=1.0)
+        slow = MasterEquationDynamics(
+            build_set_circuit(drain_voltage=0.05, gate_voltage=0.04,
+                              junction_resistance=1e8), temperature=1.0)
+        assert slow.relaxation_time() > fast.relaxation_time()
+
+
+class TestErrorHandling:
+    def test_times_must_increase(self, set_circuit):
+        dynamics = MasterEquationDynamics(set_circuit, temperature=1.0)
+        with pytest.raises(SolverError):
+            dynamics.evolve([0.0, 1e-9, 0.5e-9])
+
+    def test_needs_at_least_two_times(self, set_circuit):
+        dynamics = MasterEquationDynamics(set_circuit, temperature=1.0)
+        with pytest.raises(SolverError):
+            dynamics.evolve([0.0])
+
+    def test_initial_condition_outside_window_raises(self, set_circuit):
+        dynamics = MasterEquationDynamics(set_circuit, temperature=1.0)
+        with pytest.raises(SolverError):
+            dynamics.evolve([0.0, 1e-9], initial={(50,): 1.0})
+
+    def test_unknown_junction_raises(self, set_circuit):
+        dynamics = MasterEquationDynamics(set_circuit, temperature=1.0)
+        result = dynamics.evolve(np.linspace(0.0, 1e-9, 5))
+        with pytest.raises(SolverError):
+            result.current("J_missing")

@@ -1,0 +1,149 @@
+"""Tests for the user-facing Monte-Carlo simulator."""
+
+import numpy as np
+import pytest
+
+from repro.constants import E_CHARGE
+from repro.errors import SimulationError, ValidationError
+from repro.master import MasterEquationSolver
+from repro.montecarlo import MonteCarloSimulator, OccupationStatistics
+
+from ..conftest import build_set_circuit
+
+BLOCKADE_VOLTAGE = E_CHARGE / 4e-18
+
+
+class TestRun:
+    def test_event_budget_is_respected(self, set_circuit):
+        simulator = MonteCarloSimulator(set_circuit, temperature=1.0, seed=1)
+        result = simulator.run(max_events=500)
+        assert result.event_count == 500
+        assert result.duration > 0.0
+
+    def test_time_budget_is_respected(self, set_circuit):
+        simulator = MonteCarloSimulator(set_circuit, temperature=1.0, seed=1)
+        result = simulator.run(duration=1e-8)
+        assert result.duration >= 1e-8
+
+    def test_requires_some_budget(self, set_circuit):
+        simulator = MonteCarloSimulator(set_circuit, temperature=1.0, seed=1)
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_blockaded_run_executes_no_events(self):
+        circuit = build_set_circuit(drain_voltage=0.2 * BLOCKADE_VOLTAGE)
+        simulator = MonteCarloSimulator(circuit, temperature=0.0, seed=1)
+        result = simulator.run(max_events=100)
+        assert result.event_count == 0
+        assert result.mean_current("J_drain") == 0.0 if result.duration > 0 else True
+
+    def test_event_recording(self, set_circuit):
+        simulator = MonteCarloSimulator(set_circuit, temperature=1.0, seed=1)
+        result = simulator.run(max_events=50, record_events=True)
+        assert len(result.records) == 50
+        assert all(record.label.startswith("tunnel:") for record in result.records)
+        times = [record.time for record in result.records]
+        assert times == sorted(times)
+
+    def test_occupation_statistics_accumulate(self, set_circuit):
+        simulator = MonteCarloSimulator(set_circuit, temperature=1.0, seed=1)
+        occupation = OccupationStatistics()
+        simulator.run(max_events=2000, occupation=occupation)
+        probabilities = occupation.probabilities()
+        assert probabilities
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_invalid_circuit_is_rejected_at_construction(self):
+        from repro.circuit import Circuit
+
+        circuit = Circuit("bad")
+        circuit.add_island("floating")
+        with pytest.raises(ValidationError):
+            MonteCarloSimulator(circuit, temperature=1.0)
+
+    def test_reproducibility_with_seed(self, set_circuit):
+        first = MonteCarloSimulator(set_circuit, temperature=1.0, seed=9).run(
+            max_events=300)
+        second = MonteCarloSimulator(set_circuit, temperature=1.0, seed=9).run(
+            max_events=300)
+        assert first.duration == pytest.approx(second.duration)
+        assert first.electron_transfers == second.electron_transfers
+
+
+class TestStationaryCurrent:
+    def test_agrees_with_master_equation(self):
+        circuit = build_set_circuit(drain_voltage=0.05, gate_voltage=0.04)
+        reference = MasterEquationSolver(circuit, temperature=1.0).current("J_drain")
+        simulator = MonteCarloSimulator(build_set_circuit(drain_voltage=0.05,
+                                                          gate_voltage=0.04),
+                                        temperature=1.0, seed=7)
+        estimate = simulator.stationary_current("J_drain", max_events=15000,
+                                                warmup_events=1000)
+        assert estimate.stderr > 0.0
+        assert estimate.agrees_with(reference, sigmas=5.0,
+                                    absolute=0.02 * abs(reference))
+
+    def test_blockaded_current_is_zero(self):
+        circuit = build_set_circuit(drain_voltage=0.2 * BLOCKADE_VOLTAGE)
+        simulator = MonteCarloSimulator(circuit, temperature=0.0, seed=3)
+        estimate = simulator.stationary_current("J_drain", max_events=2000,
+                                                warmup_events=0)
+        assert estimate.mean == pytest.approx(0.0, abs=1e-18)
+
+    def test_unknown_junction_rejected(self, set_circuit):
+        simulator = MonteCarloSimulator(set_circuit, temperature=1.0, seed=1)
+        with pytest.raises(SimulationError):
+            simulator.stationary_current("J_missing")
+
+    def test_current_continuity(self, set_circuit):
+        simulator = MonteCarloSimulator(set_circuit, temperature=1.0, seed=5)
+        result = simulator.run(max_events=20000)
+        drain = result.mean_current("J_drain")
+        source = result.mean_current("J_source")
+        assert drain == pytest.approx(source, rel=0.05)
+
+
+class TestSweep:
+    def test_sweep_reproduces_oscillation_peak_positions(self):
+        circuit = build_set_circuit(drain_voltage=0.002)
+        simulator = MonteCarloSimulator(circuit, temperature=1.0, seed=11)
+        gates = np.linspace(0.0, 0.16, 17)
+        _, currents, errors = simulator.sweep_source("VG", gates, "J_drain",
+                                                     max_events=3000,
+                                                     warmup_events=300)
+        assert currents.shape == gates.shape
+        # Peaks at 0.04 and 0.12 V (odd multiples of half the 80 mV period),
+        # valleys at 0, 0.08, 0.16 V.
+        peak = currents[np.isclose(gates, 0.04)][0]
+        valley = currents[np.isclose(gates, 0.08)][0]
+        assert peak > 5.0 * max(valley, 1e-15)
+
+    def test_sweep_restores_source_voltage(self, set_circuit):
+        simulator = MonteCarloSimulator(set_circuit, temperature=1.0, seed=2)
+        original = set_circuit.node("gate").voltage
+        simulator.sweep_source("VG", [0.0, 0.01], "J_drain", max_events=200,
+                               warmup_events=0)
+        assert set_circuit.node("gate").voltage == pytest.approx(original)
+
+
+class TestTraps:
+    def test_trap_flips_are_counted(self):
+        circuit = build_set_circuit(drain_voltage=0.05, gate_voltage=0.04)
+        circuit.add_charge_trap("T1", "dot", 0.2 * E_CHARGE,
+                                capture_time=1e-9, emission_time=1e-9)
+        simulator = MonteCarloSimulator(circuit, temperature=1.0, seed=4)
+        result = simulator.run(max_events=2000)
+        assert result.trap_flips > 0
+
+    def test_strongly_coupled_trap_modulates_current(self):
+        # A trap with e/2 coupling toggles the SET between blockade and
+        # conduction; the time-averaged current must lie between the two.
+        quiet = build_set_circuit(drain_voltage=0.03, gate_voltage=0.0)
+        noisy = build_set_circuit(drain_voltage=0.03, gate_voltage=0.0)
+        noisy.add_charge_trap("T1", "dot", 0.5 * E_CHARGE,
+                              capture_time=1e-7, emission_time=1e-7)
+        quiet_current = MonteCarloSimulator(quiet, temperature=0.1, seed=6) \
+            .stationary_current("J_drain", max_events=4000, warmup_events=200).mean
+        noisy_current = MonteCarloSimulator(noisy, temperature=0.1, seed=6) \
+            .stationary_current("J_drain", max_events=4000, warmup_events=200).mean
+        assert abs(noisy_current) > abs(quiet_current)

@@ -1,0 +1,82 @@
+"""Property-based round-trip tests of the netlist parser/writer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, parse_netlist, parse_value, write_netlist
+from repro.constants import E_CHARGE
+
+names = st.from_regex(r"[a-zA-Z][a-zA-Z0-9_]{0,8}", fullmatch=True)
+capacitances = st.floats(min_value=1e-20, max_value=1e-15)
+resistances = st.floats(min_value=1e5, max_value=1e9)
+voltages = st.floats(min_value=-1.0, max_value=1.0)
+offsets = st.floats(min_value=-0.5, max_value=0.5)
+
+
+@st.composite
+def random_circuits(draw):
+    """Random but valid single-electron circuits (star topology per island)."""
+    circuit = Circuit("random")
+    island_count = draw(st.integers(min_value=1, max_value=3))
+    source_count = draw(st.integers(min_value=1, max_value=3))
+    for s in range(source_count):
+        circuit.add_voltage_source(f"V{s}", f"lead{s}", draw(voltages))
+    for i in range(island_count):
+        circuit.add_island(f"dot{i}", offset_charge=draw(offsets) * E_CHARGE)
+        # Every island gets one junction to a lead and one to ground so that
+        # the circuit is always simulable.
+        lead = f"lead{draw(st.integers(min_value=0, max_value=source_count - 1))}"
+        circuit.add_junction(f"J{i}a", lead, f"dot{i}", draw(capacitances),
+                             draw(resistances))
+        circuit.add_junction(f"J{i}b", f"dot{i}", "gnd", draw(capacitances),
+                             draw(resistances))
+        circuit.add_capacitor(f"C{i}", f"lead0", f"dot{i}", draw(capacitances))
+    if draw(st.booleans()):
+        circuit.add_charge_trap("T0", "dot0", draw(offsets) * E_CHARGE + 0.01e-19,
+                                draw(st.floats(min_value=1e-7, max_value=1e-3)),
+                                draw(st.floats(min_value=1e-7, max_value=1e-3)))
+    return circuit
+
+
+class TestNetlistRoundTrip:
+    @given(circuit=random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_structure_survives_write_and_parse(self, circuit):
+        recovered = parse_netlist(write_netlist(circuit))
+        assert recovered.island_count == circuit.island_count
+        assert len(recovered.junctions()) == len(circuit.junctions())
+        assert len(recovered.capacitors()) == len(circuit.capacitors())
+        assert len(recovered.charge_traps()) == len(circuit.charge_traps())
+        assert set(recovered.source_voltages()) == set(circuit.source_voltages())
+
+    @given(circuit=random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_values_survive_write_and_parse(self, circuit):
+        recovered = parse_netlist(write_netlist(circuit))
+        for junction in circuit.junctions():
+            twin = recovered.element(junction.name)
+            assert twin.capacitance == pytest.approx(junction.capacitance, rel=1e-12)
+            assert twin.resistance == pytest.approx(junction.resistance, rel=1e-12)
+        for island, offset in circuit.offset_charges().items():
+            assert recovered.node(island).offset_charge == pytest.approx(offset,
+                                                                         rel=1e-12,
+                                                                         abs=1e-40)
+        for node, voltage in circuit.source_voltages().items():
+            assert recovered.node(node).voltage == pytest.approx(voltage, rel=1e-12,
+                                                                 abs=1e-40)
+
+
+class TestParseValueProperties:
+    @given(value=st.floats(min_value=1e-21, max_value=1e3,
+                           allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_repr_roundtrip(self, value):
+        assert parse_value(repr(value)) == pytest.approx(value, rel=1e-12)
+
+    @given(value=st.floats(min_value=0.001, max_value=999.0))
+    @settings(max_examples=50, deadline=None)
+    def test_unit_scaling_is_consistent(self, value):
+        assert parse_value(f"{value}aF") == pytest.approx(value * 1e-18, rel=1e-9)
+        assert parse_value(f"{value}mV") == pytest.approx(value * 1e-3, rel=1e-9)
+        assert parse_value(f"{value}kOhm") == pytest.approx(value * 1e3, rel=1e-9)

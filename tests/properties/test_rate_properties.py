@@ -1,0 +1,72 @@
+"""Property-based tests of the tunnel-rate expressions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import BOLTZMANN
+from repro.core import cotunneling_rate, orthodox_rate
+
+energies = st.floats(min_value=-1e-20, max_value=1e-20)
+resistances = st.floats(min_value=1e5, max_value=1e9)
+temperatures = st.floats(min_value=1e-3, max_value=300.0)
+
+
+class TestOrthodoxRateProperties:
+    @given(delta_f=energies, resistance=resistances, temperature=temperatures)
+    @settings(max_examples=200, deadline=None)
+    def test_rate_is_finite_and_non_negative(self, delta_f, resistance, temperature):
+        rate = orthodox_rate(delta_f, resistance, temperature)
+        assert rate >= 0.0
+        assert math.isfinite(rate)
+
+    @given(delta_f=energies, resistance=resistances, temperature=temperatures)
+    @settings(max_examples=200, deadline=None)
+    def test_detailed_balance(self, delta_f, resistance, temperature):
+        forward = orthodox_rate(delta_f, resistance, temperature)
+        backward = orthodox_rate(-delta_f, resistance, temperature)
+        x = delta_f / (BOLTZMANN * temperature)
+        if abs(x) > 300.0 or forward == 0.0 or backward == 0.0:
+            return  # exponent under/overflow territory, checked elsewhere
+        assert forward / backward == pytest.approx(math.exp(-x), rel=1e-6)
+
+    @given(delta_f=st.floats(min_value=-1e-20, max_value=-1e-24),
+           resistance=resistances, temperature=temperatures)
+    @settings(max_examples=100, deadline=None)
+    def test_downhill_rate_decreases_with_resistance(self, delta_f, resistance,
+                                                     temperature):
+        assert orthodox_rate(delta_f, resistance, temperature) > \
+            orthodox_rate(delta_f, resistance * 10.0, temperature)
+
+    @given(delta_f=energies, resistance=resistances,
+           cold=temperatures, hot=temperatures)
+    @settings(max_examples=100, deadline=None)
+    def test_uphill_rate_grows_with_temperature(self, delta_f, resistance, cold, hot):
+        if hot <= cold or delta_f <= 0.0:
+            return
+        assert orthodox_rate(delta_f, resistance, hot) >= \
+            orthodox_rate(delta_f, resistance, cold) - 1e-30
+
+
+class TestCotunnelingRateProperties:
+    @given(delta_f=energies,
+           e1=st.floats(min_value=1e-23, max_value=1e-20),
+           e2=st.floats(min_value=1e-23, max_value=1e-20),
+           r1=resistances, r2=resistances, temperature=temperatures)
+    @settings(max_examples=150, deadline=None)
+    def test_rate_is_finite_and_non_negative(self, delta_f, e1, e2, r1, r2,
+                                             temperature):
+        rate = cotunneling_rate(delta_f, e1, e2, r1, r2, temperature)
+        assert rate >= 0.0
+        assert math.isfinite(rate)
+
+    @given(delta_f=st.floats(min_value=-1e-20, max_value=-1e-23),
+           e1=st.floats(min_value=1e-22, max_value=1e-20),
+           r1=resistances, r2=resistances)
+    @settings(max_examples=100, deadline=None)
+    def test_deeper_virtual_states_suppress_the_rate(self, delta_f, e1, r1, r2):
+        shallow = cotunneling_rate(delta_f, e1, e1, r1, r2, 0.0)
+        deep = cotunneling_rate(delta_f, 10.0 * e1, 10.0 * e1, r1, r2, 0.0)
+        assert deep <= shallow

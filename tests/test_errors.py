@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    CircuitError,
+    ConvergenceError,
+    EncodingError,
+    NetlistParseError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    StateSpaceError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exception_type", [
+        CircuitError, ValidationError, NetlistParseError, SolverError,
+        ConvergenceError, StateSpaceError, SimulationError, AnalysisError,
+        EncodingError,
+    ])
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_validation_error_is_a_circuit_error(self):
+        assert issubclass(ValidationError, CircuitError)
+
+    def test_netlist_parse_error_is_a_circuit_error(self):
+        assert issubclass(NetlistParseError, CircuitError)
+
+    def test_convergence_error_is_a_solver_error(self):
+        assert issubclass(ConvergenceError, SolverError)
+
+
+class TestNetlistParseError:
+    def test_line_number_is_prefixed(self):
+        error = NetlistParseError("bad token", line_number=7, line="junction X")
+        assert "line 7" in str(error)
+        assert error.line == "junction X"
+
+    def test_without_line_number(self):
+        error = NetlistParseError("bad token")
+        assert "bad token" in str(error)
+        assert error.line_number is None
+
+
+class TestConvergenceError:
+    def test_carries_iterations_and_residual(self):
+        error = ConvergenceError("did not converge", iterations=50, residual=1e-3)
+        assert error.iterations == 50
+        assert error.residual == pytest.approx(1e-3)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise ConvergenceError("nope")

@@ -1,0 +1,74 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+from repro.constants import E_CHARGE
+
+
+class TestCapacitanceUnits:
+    def test_attofarad(self):
+        assert units.attofarad(1.0) == pytest.approx(1e-18)
+
+    def test_femtofarad(self):
+        assert units.femtofarad(2.5) == pytest.approx(2.5e-15)
+
+    def test_zeptofarad(self):
+        assert units.zeptofarad(100.0) == pytest.approx(1e-19)
+
+    def test_farad_identity(self):
+        assert units.farad(3.0) == 3.0
+
+
+class TestVoltageUnits:
+    def test_millivolt(self):
+        assert units.millivolt(40.0) == pytest.approx(0.04)
+
+    def test_microvolt(self):
+        assert units.microvolt(5.0) == pytest.approx(5e-6)
+
+    def test_volt_identity(self):
+        assert units.volt(1.2) == 1.2
+
+
+class TestCurrentUnits:
+    def test_nanoampere(self):
+        assert units.nanoampere(3.0) == pytest.approx(3e-9)
+
+    def test_picoampere(self):
+        assert units.picoampere(7.0) == pytest.approx(7e-12)
+
+
+class TestResistanceUnits:
+    def test_kiloohm(self):
+        assert units.kiloohm(100.0) == pytest.approx(1e5)
+
+    def test_megaohm(self):
+        assert units.megaohm(2.0) == pytest.approx(2e6)
+
+
+class TestTimeUnits:
+    def test_nanosecond(self):
+        assert units.nanosecond(5.0) == pytest.approx(5e-9)
+
+    def test_picosecond(self):
+        assert units.picosecond(1.0) == pytest.approx(1e-12)
+
+
+class TestChargeUnits:
+    def test_elementary_charges(self):
+        assert units.elementary_charges(0.5) == pytest.approx(0.5 * E_CHARGE)
+
+    def test_coulomb_to_e_roundtrip(self):
+        assert units.coulomb_to_e(units.elementary_charges(0.37)) == pytest.approx(0.37)
+
+
+class TestEnergyUnits:
+    def test_electronvolt(self):
+        assert units.electronvolt(1.0) == pytest.approx(E_CHARGE)
+
+    def test_joule_to_ev_roundtrip(self):
+        assert units.joule_to_ev(units.electronvolt(2.2)) == pytest.approx(2.2)
+
+    def test_nanometre(self):
+        assert units.nanometre(10.0) == pytest.approx(1e-8)
