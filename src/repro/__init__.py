@@ -17,6 +17,22 @@ Quickstart
 >>> circuit = set_device.build_circuit(drain_voltage=1e-3, gate_voltage=0.0)
 >>> solver = MasterEquationSolver(circuit, temperature=1.0)
 >>> current = solver.current("J_drain")
+
+Performance
+-----------
+The kinetic Monte-Carlo engine runs on a vectorized fast path by default:
+every tunnel event is flattened at kernel construction into precomputed NumPy
+event tables (terminal indices, reorganisation energies, resistances, update
+vectors), rates are evaluated through the array-valued
+:func:`repro.core.rates.orthodox_rate_vec` /
+:func:`repro.core.rates.cotunneling_rate_vec`, island potentials are updated
+incrementally after each event instead of re-solved, and the cumulative rate
+table of every visited charge configuration is memoised.  The original scalar
+implementation remains available as the *reference path*
+(``MonteCarloSimulator(..., fast_path=False)``) and the test-suite asserts
+both paths agree.  ``PERFORMANCE.md`` describes the design;
+``benchmarks/bench_kernel_throughput.py`` measures the speedup (>= 5x on the
+reference SET) and records it in ``BENCH_kernel.json``.
 """
 
 from . import constants, units

@@ -46,6 +46,12 @@ class Circuit:
         self.name = name
         self._nodes: Dict[str, Node] = {}
         self._elements: Dict[str, Element] = {}
+        #: Monotonic counter bumped whenever a source voltage changes.  The
+        #: simulation engines key their cached source-voltage vectors on it so
+        #: a gate sweep invalidates in O(1) without re-reading every node.
+        self.bias_version: int = 0
+        #: Monotonic counter bumped whenever an island offset charge changes.
+        self.charge_version: int = 0
         ground = make_ground()
         self._nodes[ground.name] = ground
 
@@ -70,6 +76,7 @@ class Circuit:
         node = Node(name, NodeKind.ISLAND, offset_charge=offset_charge)
         self._nodes[name] = node
         self._reindex_islands()
+        self.charge_version += 1
         return node
 
     def add_source_node(self, name: str, voltage: float = 0.0) -> Node:
@@ -77,6 +84,7 @@ class Circuit:
         self._check_new_node_name(name)
         node = Node(name, NodeKind.SOURCE, voltage=float(voltage))
         self._nodes[name] = node
+        self.bias_version += 1
         return node
 
     def _check_new_node_name(self, name: str) -> None:
@@ -131,6 +139,7 @@ class Circuit:
                 f"{node.kind.value} node"
             )
         node.offset_charge = float(offset_charge)
+        self.charge_version += 1
 
     def set_offset_charge_in_e(self, island: str, fraction: float) -> None:
         """Set the background charge of an island as a fraction of ``e``."""
@@ -183,6 +192,7 @@ class Circuit:
             if existing.kind is NodeKind.GROUND and voltage != 0.0:
                 raise CircuitError("cannot bias the ground node away from 0 V")
             existing.voltage = float(voltage)
+            self.bias_version += 1
         source = VoltageSource(name, node, float(voltage))
         self._add_element(source)
         return source
@@ -214,6 +224,7 @@ class Circuit:
             self._elements[name_or_node] = VoltageSource(element.name, node_name,
                                                          float(voltage))
             self._nodes[node_name].voltage = float(voltage)
+            self.bias_version += 1
             return
         node = self.node(name_or_node)
         if not node.is_source:
@@ -223,6 +234,7 @@ class Circuit:
         if node.kind is NodeKind.GROUND and voltage != 0.0:
             raise CircuitError("cannot bias the ground node away from 0 V")
         node.voltage = float(voltage)
+        self.bias_version += 1
         for element_name, element in list(self._elements.items()):
             if isinstance(element, VoltageSource) and element.node == name_or_node:
                 self._elements[element_name] = VoltageSource(element.name, element.node,

@@ -7,14 +7,16 @@ from .background import (
     wrap_offset_charge,
 )
 from .capacitance import CapacitanceSystem, CapacitiveBranch
-from .energy import EnergyModel, TunnelEvent
+from .energy import EnergyModel, EventTable, TunnelEvent
 from .rates import (
     attempt_frequency,
     charging_time,
     cotunneling_rate,
+    cotunneling_rate_vec,
     detailed_balance_ratio,
     heisenberg_tunnel_time,
     orthodox_rate,
+    orthodox_rate_vec,
     tunnel_traversal_time,
 )
 
@@ -23,15 +25,18 @@ __all__ = [
     "CapacitanceSystem",
     "CapacitiveBranch",
     "EnergyModel",
+    "EventTable",
     "RandomTelegraphProcess",
     "TrapEnsemble",
     "TunnelEvent",
     "attempt_frequency",
     "charging_time",
     "cotunneling_rate",
+    "cotunneling_rate_vec",
     "detailed_balance_ratio",
     "heisenberg_tunnel_time",
     "orthodox_rate",
+    "orthodox_rate_vec",
     "tunnel_traversal_time",
     "wrap_offset_charge",
 ]

@@ -124,6 +124,15 @@ class CapacitanceSystem:
             [node.offset_charge for node in self.islands], dtype=float
         )
 
+        # Version-keyed caches of the bias and offset vectors.  The circuit
+        # bumps ``bias_version``/``charge_version`` whenever a source voltage
+        # or offset charge changes, so rebuilding these vectors (a Python loop
+        # over nodes) happens once per sweep point instead of once per call.
+        self._voltage_cache: np.ndarray | None = None
+        self._voltage_cache_version = -1
+        self._offset_cache: np.ndarray | None = None
+        self._offset_cache_version = -1
+
     # ------------------------------------------------------------------ build
 
     def _make_branch(self, element) -> CapacitiveBranch:
@@ -149,16 +158,42 @@ class CapacitanceSystem:
 
     def source_voltage_vector(self) -> np.ndarray:
         """Current source-node voltages as a vector aligned with ``coupling``."""
-        return np.array(
-            [self.circuit.node(name).voltage for name in self.source_names], dtype=float
-        )
+        return self.cached_source_voltages().copy()
+
+    def cached_source_voltages(self) -> np.ndarray:
+        """Shared read-only source-voltage vector (no per-call allocation).
+
+        Refreshed lazily whenever the circuit's ``bias_version`` changes; hot
+        paths that evaluate it every step should prefer this over
+        :meth:`source_voltage_vector`, which returns a private copy.
+        """
+        version = getattr(self.circuit, "bias_version", None)
+        if self._voltage_cache is None or version is None \
+                or version != self._voltage_cache_version:
+            self._voltage_cache = np.array(
+                [self.circuit.node(name).voltage for name in self.source_names],
+                dtype=float,
+            )
+            self._voltage_cache.flags.writeable = False
+            self._voltage_cache_version = -1 if version is None else version
+        return self._voltage_cache
 
     def offset_charge_vector(self) -> np.ndarray:
         """Current island offset charges (coulomb) as a vector."""
-        return np.array(
-            [self.circuit.node(name).offset_charge for name in self.island_names],
-            dtype=float,
-        )
+        return self.cached_offset_charges().copy()
+
+    def cached_offset_charges(self) -> np.ndarray:
+        """Shared read-only offset-charge vector (no per-call allocation)."""
+        version = getattr(self.circuit, "charge_version", None)
+        if self._offset_cache is None or version is None \
+                or version != self._offset_cache_version:
+            self._offset_cache = np.array(
+                [self.circuit.node(name).offset_charge for name in self.island_names],
+                dtype=float,
+            )
+            self._offset_cache.flags.writeable = False
+            self._offset_cache_version = -1 if version is None else version
+        return self._offset_cache
 
     def external_charge(self, voltages: np.ndarray | None = None) -> np.ndarray:
         """Charge induced on each island by the source nodes, ``B @ V``."""

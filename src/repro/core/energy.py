@@ -64,6 +64,94 @@ class TunnelEvent:
         return f"TunnelEvent({self.junction.name}: {self.source_node} -> {self.target_node})"
 
 
+class EventTable:
+    """Flattened, array-valued view of every elementary tunnel event.
+
+    At construction each event is decomposed into the quantities that never
+    change during a simulation — terminal indices, junction resistance, the
+    reorganisation energy ``(e^2/2)(Cinv_ff + Cinv_tt - 2 Cinv_ft)``, the
+    electron-number update vector and the island-potential update vector —
+    stored as parallel NumPy arrays.  The per-state free-energy changes of
+    *all* events then reduce to one gather plus two element-wise expressions
+    (:meth:`delta_f`), and applying an event to cached potentials is a single
+    vector addition (``potentials += table.delta_phi[k]``).
+
+    The arrays follow the event order of :meth:`EnergyModel.events`.
+    """
+
+    def __init__(self, model: "EnergyModel") -> None:
+        system = model.system
+        island_index = system.island_index
+        source_index = system.source_index
+        inverse = system.inverse
+        n_islands = system.island_count
+        events = model.events()
+
+        self.events: Tuple[TunnelEvent, ...] = tuple(events)
+        self.size: int = len(events)
+        #: Island index of the from/to terminal, ``-1`` for a source terminal.
+        self.from_island = np.full(self.size, -1, dtype=np.int64)
+        self.to_island = np.full(self.size, -1, dtype=np.int64)
+        #: Junction resistance per event, in ohm.
+        self.resistance = np.empty(self.size, dtype=float)
+        #: Reorganisation energy per event, in joule.
+        self.reorg = np.empty(self.size, dtype=float)
+        #: Electron-number update per event (``n_after = n + delta_n[k]``).
+        self.delta_n = np.zeros((self.size, n_islands), dtype=np.int64)
+        #: Island-potential update per event (``phi_after = phi + delta_phi[k]``).
+        self.delta_phi = np.zeros((self.size, n_islands), dtype=float)
+        # Gather indices into the concatenated (potentials, voltages) pool.
+        self._from_gather = np.empty(self.size, dtype=np.int64)
+        self._to_gather = np.empty(self.size, dtype=np.int64)
+
+        for k, event in enumerate(events):
+            from_node = event.source_node
+            to_node = event.target_node
+            if from_node in island_index:
+                f = island_index[from_node]
+                self.from_island[k] = f
+                self._from_gather[k] = f
+                inv_ff = inverse[f, f]
+                self.delta_n[k, f] -= 1
+                self.delta_phi[k] += E_CHARGE * inverse[:, f]
+            else:
+                f = -1
+                self._from_gather[k] = n_islands + source_index[from_node]
+                inv_ff = 0.0
+            if to_node in island_index:
+                t = island_index[to_node]
+                self.to_island[k] = t
+                self._to_gather[k] = t
+                inv_tt = inverse[t, t]
+                self.delta_n[k, t] += 1
+                self.delta_phi[k] -= E_CHARGE * inverse[:, t]
+            else:
+                t = -1
+                self._to_gather[k] = n_islands + source_index[to_node]
+                inv_tt = 0.0
+            inv_ft = inverse[f, t] if f >= 0 and t >= 0 else 0.0
+            self.reorg[k] = 0.5 * E_CHARGE**2 * (inv_ff + inv_tt - 2.0 * inv_ft)
+            self.resistance[k] = event.junction.resistance
+
+    def delta_f(self, potentials: np.ndarray, voltages: np.ndarray,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Free-energy change of every event, given the island potentials.
+
+        Element ``k`` equals
+        :meth:`EnergyModel.free_energy_change_from_potentials` for event ``k``
+        exactly (the same floating-point operations in the same order).
+        """
+        pool = np.concatenate((potentials, voltages))
+        phi_from = pool[self._from_gather]
+        phi_to = pool[self._to_gather]
+        if out is None:
+            return E_CHARGE * (phi_from - phi_to) + self.reorg
+        np.subtract(phi_from, phi_to, out=out)
+        out *= E_CHARGE
+        out += self.reorg
+        return out
+
+
 class EnergyModel:
     """Exact electrostatic free-energy model of a single-electron circuit.
 
@@ -84,6 +172,7 @@ class EnergyModel:
         for junction in self.junctions:
             self._events.append(TunnelEvent(junction, +1))
             self._events.append(TunnelEvent(junction, -1))
+        self._table: Optional[EventTable] = None
 
     # ------------------------------------------------------------- basic maps
 
@@ -103,6 +192,13 @@ class EnergyModel:
     def events(self) -> List[TunnelEvent]:
         """All elementary tunnel events (two per junction)."""
         return list(self._events)
+
+    @property
+    def table(self) -> EventTable:
+        """Precomputed :class:`EventTable` over :meth:`events` (built lazily)."""
+        if self._table is None:
+            self._table = EventTable(self)
+        return self._table
 
     # --------------------------------------------------------------- charges
 
@@ -260,28 +356,39 @@ class EnergyModel:
 
         return float(delta_stored - work)
 
+    def event_delta_f(self, electrons: Sequence[int],
+                      voltages: Optional[np.ndarray] = None,
+                      offsets: Optional[np.ndarray] = None) -> np.ndarray:
+        """Free-energy change of every elementary event, as one vector.
+
+        The vectorized fast path: island potentials are solved once and the
+        precomputed :attr:`table` turns them into the ``dF`` of all events at
+        once.  Element ``k`` corresponds to ``self.events()[k]``.
+        """
+        if voltages is None:
+            voltages = self.system.source_voltage_vector()
+        potentials = self.island_potentials(electrons, voltages, offsets)
+        return self.table.delta_f(potentials, voltages)
+
     def event_energies(self, electrons: Sequence[int],
                        voltages: Optional[np.ndarray] = None,
                        offsets: Optional[np.ndarray] = None
                        ) -> List[Tuple[TunnelEvent, float]]:
         """``(event, dF)`` for every elementary event from configuration ``electrons``.
 
-        The island potentials are computed once and reused for all events.
+        The island potentials are computed once and turned into all ``dF``
+        values through the vectorized :attr:`table`.
         """
-        if voltages is None:
-            voltages = self.system.source_voltage_vector()
-        potentials = self.island_potentials(electrons, voltages, offsets)
-        return [(event,
-                 self.free_energy_change_from_potentials(potentials, event, voltages))
-                for event in self._events]
+        deltas = self.event_delta_f(electrons, voltages, offsets)
+        return [(event, float(delta)) for event, delta in zip(self._events, deltas)]
 
     def is_stable(self, electrons: Sequence[int],
                   voltages: Optional[np.ndarray] = None,
                   offsets: Optional[np.ndarray] = None,
                   tolerance: float = 0.0) -> bool:
         """Whether no single tunnel event lowers the free energy (T = 0 stability)."""
-        return all(delta > -abs(tolerance)
-                   for _, delta in self.event_energies(electrons, voltages, offsets))
+        deltas = self.event_delta_f(electrons, voltages, offsets)
+        return bool(np.all(deltas > -abs(tolerance)))
 
     def ground_state(self, max_electrons: int = 5,
                      voltages: Optional[np.ndarray] = None,
@@ -296,13 +403,16 @@ class EnergyModel:
         configuration for the stochastic simulators.
         """
         electrons = self.zero_state()
+        if not self._events:
+            return electrons
+        table = self.table
         budget = (2 * max_electrons + 1) ** max(1, self.island_count)
         for _ in range(budget):
-            energies = self.event_energies(electrons, voltages, offsets)
-            best_event, best_delta = min(energies, key=lambda item: item[1])
-            if best_delta >= 0.0:
+            deltas = self.event_delta_f(electrons, voltages, offsets)
+            best = int(np.argmin(deltas))
+            if deltas[best] >= 0.0:
                 return electrons
-            candidate = self.apply_event(electrons, best_event)
+            candidate = electrons + table.delta_n[best]
             if np.any(np.abs(candidate) > max_electrons):
                 return electrons
             electrons = candidate
@@ -332,4 +442,4 @@ class EnergyModel:
         return float(0.5 * charges @ inverse @ charges + charges @ inverse @ external)
 
 
-__all__ = ["EnergyModel", "TunnelEvent"]
+__all__ = ["EnergyModel", "EventTable", "TunnelEvent"]

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..core.energy import EnergyModel, TunnelEvent
-from ..core.rates import orthodox_rate
+from ..core.rates import orthodox_rate_vec
 from ..errors import StateSpaceError
 from .statespace import StateSpace, auto_state_space
 
@@ -88,34 +88,39 @@ class RateMatrixBuilder:
     def transitions(self, space: Optional[StateSpace] = None,
                     voltages: Optional[np.ndarray] = None,
                     offsets: Optional[np.ndarray] = None) -> List[Transition]:
-        """Every allowed transition within the state window."""
+        """Every allowed transition within the state window.
+
+        Rates are evaluated through the same vectorized event table as the
+        Monte-Carlo kernel: one potential solve per charge state, then all
+        event energies and rates in single array expressions.
+        """
         if space is None:
             space = self.state_space(voltages, offsets)
         if voltages is None:
             voltages = self.model.system.source_voltage_vector()
-        events = self.model.events()
+        table = self.model.table
+        events = table.events
+        junction_names = [event.junction.name for event in events]
+        directions = [event.direction for event in events]
         found: List[Transition] = []
         for source_index, configuration in enumerate(space.states):
             electrons = np.array(configuration, dtype=np.int64)
             potentials = self.model.island_potentials(electrons, voltages, offsets)
-            for event in events:
-                target = self.model.apply_event(electrons, event)
-                target_key = tuple(int(v) for v in target)
-                if target_key not in space.index:
-                    continue
-                delta_f = self.model.free_energy_change_from_potentials(
-                    potentials, event, voltages)
-                rate = orthodox_rate(delta_f, event.junction.resistance,
-                                     self.temperature)
-                if rate <= 0.0:
+            deltas = table.delta_f(potentials, voltages)
+            rates = orthodox_rate_vec(deltas, table.resistance, self.temperature)
+            targets = electrons[np.newaxis, :] + table.delta_n
+            for k in np.nonzero(rates > 0.0)[0]:
+                target_key = tuple(int(v) for v in targets[k])
+                target_index = space.index.get(target_key)
+                if target_index is None:
                     continue
                 found.append(Transition(
                     source_index=source_index,
-                    target_index=space.index[target_key],
-                    junction_name=event.junction.name,
-                    electron_direction=event.direction,
-                    rate=rate,
-                    delta_f=delta_f,
+                    target_index=target_index,
+                    junction_name=junction_names[k],
+                    electron_direction=directions[k],
+                    rate=float(rates[k]),
+                    delta_f=float(deltas[k]),
                 ))
         return found
 

@@ -1,6 +1,10 @@
 """Kinetic Monte-Carlo simulation of single-electron circuits (SIMON-like engine)."""
 
-from .cotunneling import enumerate_cotunnel_candidates, intermediate_energies
+from .cotunneling import (
+    CotunnelTable,
+    enumerate_cotunnel_candidates,
+    intermediate_energies,
+)
 from .events import CotunnelCandidate, TrapCandidate, TunnelCandidate
 from .kernel import Candidate, KernelStep, MonteCarloKernel
 from .observables import (
@@ -16,6 +20,7 @@ from .state import SimulationState, initial_state
 __all__ = [
     "Candidate",
     "CotunnelCandidate",
+    "CotunnelTable",
     "CurrentEstimate",
     "EventRecord",
     "KernelStep",

@@ -6,6 +6,29 @@ The kernel implements the classic rejection-free (Gillespie / BKL) algorithm:
 2. draw the waiting time from an exponential distribution with the total rate,
 3. pick one event with probability proportional to its rate and apply it.
 
+Two implementations of the hot path coexist:
+
+* The **fast path** (default) evaluates all events through precomputed array
+  tables: the free-energy changes of every tunnel event come from one gather
+  over the island potentials (:class:`~repro.core.energy.EventTable`), the
+  rates from the array-valued :func:`~repro.core.rates.orthodox_rate_vec` /
+  :func:`~repro.core.rates.cotunneling_rate_vec`, and event selection from a
+  single pass over the cumulative rate table.  Because the rates depend only
+  on the charge configuration (the process is Markovian), every visited
+  configuration is memoised as a :class:`_RateEntry` holding its island
+  potentials, its cumulative rate table and links to the successor entries of
+  each event.  Island potentials of a newly discovered configuration are
+  obtained *incrementally* from the parent entry — the event's precomputed
+  ``delta_phi`` column combination of ``C^-1`` — instead of a full linear
+  solve; a full re-solve every ``resync_interval`` new entries bounds
+  floating-point drift.  The memo is invalidated on source-voltage or offset
+  changes (detected in O(1) through the circuit's version counters) and keyed
+  by trap occupation, so telegraph noise does not thrash it.  Waiting-time
+  and selection randoms are drawn in blocks rather than one scalar at a time.
+* The **reference path** (``fast_path=False``) is the original per-candidate
+  scalar implementation, kept verbatim as an independently-derived check; the
+  test-suite asserts both paths produce the same rates.
+
 The kernel is deliberately separated from the user-facing
 :class:`~repro.montecarlo.simulator.MonteCarloSimulator` so the same stepping
 machinery can be reused by specialised drivers (e.g. the RNG bit sampler).
@@ -20,22 +43,50 @@ import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..core.energy import EnergyModel
-from ..core.rates import cotunneling_rate, orthodox_rate
+from ..core.rates import (
+    cotunneling_rate,
+    cotunneling_rate_vec,
+    orthodox_rate,
+    orthodox_rate_vec,
+)
 from ..errors import SimulationError
-from .cotunneling import enumerate_cotunnel_candidates
+from .cotunneling import CotunnelTable, enumerate_cotunnel_candidates
 from .events import CotunnelCandidate, TrapCandidate, TunnelCandidate
 from .state import SimulationState
 
 Candidate = Union[TunnelCandidate, CotunnelCandidate, TrapCandidate]
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelStep:
     """Outcome of one kinetic Monte-Carlo step."""
 
     waiting_time: float
     candidate: Candidate
     total_rate: float
+
+
+class _RateEntry:
+    """Memoised per-configuration data of the fast path.
+
+    ``electrons`` is the canonical configuration vector (never handed out
+    without a copy), ``phi`` its island potentials, ``cumulative``/``total``
+    the inclusive rate table used for event selection, and ``successors`` the
+    lazily linked entries reached by each tunnel / co-tunnel event.
+    """
+
+    __slots__ = ("electrons", "phi", "cumulative", "total", "last_selectable",
+                 "successors")
+
+    def __init__(self, electrons: np.ndarray, phi: np.ndarray,
+                 cumulative: np.ndarray, total: float, last_selectable: int,
+                 n_events: int) -> None:
+        self.electrons = electrons
+        self.phi = phi
+        self.cumulative = cumulative
+        self.total = total
+        self.last_selectable = last_selectable
+        self.successors: List[Optional["_RateEntry"]] = [None] * n_events
 
 
 class MonteCarloKernel:
@@ -51,17 +102,30 @@ class MonteCarloKernel:
         NumPy random generator (the simulator owns the seed policy).
     include_cotunneling:
         Whether second-order (co-tunnelling) channels are simulated.
+    fast_path:
+        Use the vectorized event-table implementation (default).  Set to
+        ``False`` to run the scalar reference implementation instead.
+    resync_interval:
+        Number of incrementally-derived configurations between full
+        island-potential re-solves on the fast path (bounds floating-point
+        drift).  ``1`` re-solves for every new configuration.
     """
 
     def __init__(self, circuit: Circuit, temperature: float,
                  rng: np.random.Generator,
-                 include_cotunneling: bool = False) -> None:
+                 include_cotunneling: bool = False,
+                 fast_path: bool = True,
+                 resync_interval: int = 1024) -> None:
         if temperature < 0.0:
             raise SimulationError("temperature must be non-negative")
+        if resync_interval < 1:
+            raise SimulationError("resync_interval must be at least 1")
         self.circuit = circuit
         self.temperature = float(temperature)
         self.rng = rng
         self.include_cotunneling = include_cotunneling
+        self.fast_path = bool(fast_path)
+        self.resync_interval = int(resync_interval)
         self.model = EnergyModel(circuit)
         self.tunnel_candidates = [TunnelCandidate(event)
                                   for event in self.model.events()]
@@ -70,22 +134,271 @@ class MonteCarloKernel:
             if include_cotunneling else []
         )
         self.traps = circuit.charge_traps()
-        self._static_offsets = self.model.system.offset_charge_vector()
+
+        # ---------------------------------------------- precomputed tables
+        self._table = self.model.table
+        self._n_tunnel = self._table.size
+        self._n_cot = len(self.cotunnel_candidates)
+        self._n_events = self._n_tunnel + self._n_cot
+        self._cot_table = (CotunnelTable(self.model, self.cotunnel_candidates)
+                           if self._n_cot else None)
+        self._n_traps = len(self.traps)
+        self._trap_capture_rates = np.array(
+            [1.0 / trap.capture_time for trap in self.traps], dtype=float)
+        self._trap_emission_rates = np.array(
+            [1.0 / trap.emission_time for trap in self.traps], dtype=float)
+        self._trap_capture_candidates = [TrapCandidate(trap, capture=True)
+                                         for trap in self.traps]
+        self._trap_emission_candidates = [TrapCandidate(trap, capture=False)
+                                          for trap in self.traps]
+        # Flat per-event apply data (tunnel events first, then co-tunnels):
+        # candidate object, electron-number delta, potential delta and the
+        # (junction, direction) transfer bookkeeping, each one list index away.
+        self._event_candidates: List[Candidate] = (
+            list(self.tunnel_candidates) + list(self.cotunnel_candidates))
+        self._event_delta_n = [self._table.delta_n[k]
+                               for k in range(self._n_tunnel)]
+        self._event_delta_phi = [self._table.delta_phi[k]
+                                 for k in range(self._n_tunnel)]
+        if self._n_cot:
+            self._event_delta_n += [self._cot_table.delta_n[c]
+                                    for c in range(self._n_cot)]
+            self._event_delta_phi += [self._cot_table.delta_phi[c]
+                                      for c in range(self._n_cot)]
+        self._event_transfers = [candidate.charge_transfers()
+                                 for candidate in self._event_candidates]
+
+        # ------------------------------------------- preallocated buffers
+        self._rates = np.zeros(self._n_events + self._n_traps, dtype=float)
+        self._delta_f = np.empty(self._n_tunnel, dtype=float)
+
+        # ----------------------------------------------- cache bookkeeping
+        self._voltages: Optional[np.ndarray] = None
+        self._bias_version = -1
+        self._offsets: Optional[np.ndarray] = None
+        self._offsets_version = -1
+        self._trap_snapshot: Optional[dict] = None
+        self._trap_bits = 0
+        self._entries_since_resync = 0
+        #: Memoised :class:`_RateEntry` per (configuration, trap occupation).
+        self._rate_cache: dict = {}
+        self._rate_cache_limit = 65536
+        # Block-drawn randoms (consumed left to right, refilled on demand).
+        self._exp_buffer = np.empty(0)
+        self._exp_position = 0
+        self._uniform_buffer = np.empty(0)
+        self._uniform_position = 0
+        self._random_block = 4096
+
+    # ---------------------------------------------------------------- caches
+
+    def invalidate_caches(self) -> None:
+        """Drop all cached bias/offset/rate-table data (full refresh next step)."""
+        self._voltages = None
+        self._bias_version = -1
+        self._offsets = None
+        self._offsets_version = -1
+        self._trap_snapshot = None
+        self._trap_bits = 0
+        self._entries_since_resync = 0
+        self._rate_cache.clear()
+
+    def _refresh_bias(self) -> None:
+        version = self.circuit.bias_version
+        if self._voltages is None or version != self._bias_version:
+            self._voltages = self.model.system.cached_source_voltages()
+            self._bias_version = version
+            self._rate_cache.clear()
+
+    def _refresh_offsets(self, state: SimulationState) -> None:
+        version = self.circuit.charge_version
+        trap_state_changed = (self._n_traps > 0
+                              and state.trap_occupancy != self._trap_snapshot)
+        if self._offsets is None or version != self._offsets_version \
+                or trap_state_changed:
+            if version != self._offsets_version:
+                # Static offsets changed: every memoised table is stale.  A
+                # trap flip alone keeps the cache (configurations are keyed by
+                # trap occupation as well).
+                self._rate_cache.clear()
+            offsets = np.array(self.model.system.cached_offset_charges())
+            if self._n_traps:
+                island_index = self.model.island_index
+                bits = 0
+                for position, trap in enumerate(self.traps):
+                    if state.trap_occupancy.get(trap.name, False):
+                        offsets[island_index(trap.island)] += trap.coupling
+                        bits |= 1 << position
+                self._trap_snapshot = dict(state.trap_occupancy)
+                self._trap_bits = bits
+            self._offsets = offsets
+            self._offsets_version = version
+
+    # ------------------------------------------------------- batched randoms
+
+    def _next_exponential(self) -> float:
+        """One standard-exponential variate from the block buffer."""
+        position = self._exp_position
+        if position >= self._exp_buffer.size:
+            self._exp_buffer = self.rng.standard_exponential(self._random_block)
+            position = 0
+        self._exp_position = position + 1
+        return float(self._exp_buffer[position])
+
+    def _next_uniform(self) -> float:
+        """One standard-uniform variate from the block buffer."""
+        position = self._uniform_position
+        if position >= self._uniform_buffer.size:
+            self._uniform_buffer = self.rng.random(self._random_block)
+            position = 0
+        self._uniform_position = position + 1
+        return float(self._uniform_buffer[position])
 
     # ------------------------------------------------------------------ rates
 
     def effective_offsets(self, state: SimulationState) -> np.ndarray:
-        """Island offset charges including the contribution of occupied traps."""
-        offsets = np.array(self.model.system.offset_charge_vector(), dtype=float)
-        for trap in self.traps:
-            if state.trap_occupancy.get(trap.name, False):
-                offsets[self.model.island_index(trap.island)] += trap.coupling
-        return offsets
+        """Island offset charges including the contribution of occupied traps.
+
+        The static offset vector and the trap contributions are cached; the
+        vector is rebuilt only when an offset charge or a trap occupation
+        actually changed.
+        """
+        self._refresh_bias()
+        self._refresh_offsets(state)
+        assert self._offsets is not None
+        return self._offsets.copy()
+
+    def _rates_from_phi(self, phi: np.ndarray,
+                        state: SimulationState) -> np.ndarray:
+        """Fill and return the shared rate buffer (tunnel | cotunnel | trap)."""
+        rates = self._rates
+        n_tunnel = self._n_tunnel
+        n_cot = self._n_cot
+        if n_tunnel:
+            delta_f = self._table.delta_f(phi, self._voltages, out=self._delta_f)
+            orthodox_rate_vec(delta_f, self._table.resistance, self.temperature,
+                              out=rates[:n_tunnel])
+        if n_cot:
+            total, first, second = self._cot_table.channel_energies(self._delta_f)
+            rates[n_tunnel:n_tunnel + n_cot] = cotunneling_rate_vec(
+                total, first, second,
+                self._cot_table.resistance_1, self._cot_table.resistance_2,
+                self.temperature)
+        if self._n_traps:
+            occupied = np.fromiter(
+                (state.trap_occupancy.get(trap.name, False) for trap in self.traps),
+                dtype=bool, count=self._n_traps)
+            rates[n_tunnel + n_cot:] = np.where(
+                occupied, self._trap_emission_rates, self._trap_capture_rates)
+        return rates
+
+    def _compute_rates(self, state: SimulationState) -> np.ndarray:
+        """Full vectorized rate evaluation from an exact potential solve."""
+        self._refresh_bias()
+        self._refresh_offsets(state)
+        phi = np.asarray(self.model.island_potentials(
+            state.electrons, self._voltages, self._offsets), dtype=float)
+        return self._rates_from_phi(phi, state)
 
     def candidate_rates(self, state: SimulationState
                         ) -> Tuple[List[Candidate], np.ndarray]:
-        """All candidates and their rates from the current state."""
-        offsets = self.effective_offsets(state)
+        """All candidates and their rates from the current state.
+
+        Tunnel and co-tunnel candidates with zero rate are filtered out (as in
+        the reference implementation); trap candidates are always present.
+        """
+        if not self.fast_path:
+            return self.candidate_rates_reference(state)
+        rates = self._compute_rates(state)
+        candidates: List[Candidate] = []
+        kept: List[float] = []
+        for index in range(self._n_events):
+            rate = rates[index]
+            if rate > 0.0:
+                candidates.append(self._event_candidates[index])
+                kept.append(rate)
+        for position, trap in enumerate(self.traps):
+            occupied = state.trap_occupancy.get(trap.name, False)
+            candidates.append(self._trap_emission_candidates[position] if occupied
+                              else self._trap_capture_candidates[position])
+            kept.append(rates[self._n_events + position])
+        return candidates, np.array(kept, dtype=float)
+
+    # --------------------------------------------------------- memo entries
+
+    def _entry_key(self, electrons: np.ndarray):
+        key = electrons.tobytes()
+        if self._n_traps:
+            return (key, self._trap_bits)
+        return key
+
+    def _store_entry(self, key, entry: "_RateEntry") -> None:
+        if len(self._rate_cache) >= self._rate_cache_limit:
+            self._rate_cache.clear()
+        self._rate_cache[key] = entry
+
+    def _build_entry(self, key, electrons: np.ndarray,
+                     phi: Optional[np.ndarray],
+                     state: SimulationState) -> "_RateEntry":
+        """Create (and memoise) the rate table of one configuration.
+
+        ``phi = None`` forces an exact potential solve; otherwise the caller
+        supplies incrementally derived potentials.
+        """
+        if phi is None:
+            phi = np.asarray(self.model.island_potentials(
+                electrons, self._voltages, self._offsets), dtype=float)
+            self._entries_since_resync = 0
+        rates = self._rates_from_phi(phi, state)
+        cumulative = np.cumsum(rates)
+        total = float(cumulative[-1]) if cumulative.size else 0.0
+        # Last positive-rate index: selection clamps to it so a threshold that
+        # rounds up to exactly the total can never pick a trailing forbidden
+        # (zero-rate) event, matching the reference path's filtered table.
+        positive = np.nonzero(rates > 0.0)[0]
+        last_selectable = int(positive[-1]) if positive.size else -1
+        entry = _RateEntry(electrons, phi, cumulative, total, last_selectable,
+                           self._n_events)
+        self._store_entry(key, entry)
+        return entry
+
+    def _descend(self, parent: "_RateEntry", index: int,
+                 state: SimulationState) -> "_RateEntry":
+        """Entry of the configuration reached from ``parent`` via event ``index``.
+
+        This is where the incremental electrostatics happens: the successor's
+        island potentials are the parent's plus the event's precomputed
+        ``delta_phi`` (a column combination of ``C^-1``), skipping the full
+        ``C^-1 (q + B V)`` solve.  Every ``resync_interval`` discoveries the
+        potentials are re-solved exactly to stop rounding drift.
+        """
+        electrons = parent.electrons + self._event_delta_n[index]
+        key = self._entry_key(electrons)
+        existing = self._rate_cache.get(key)
+        if existing is not None:
+            return existing
+        if self._entries_since_resync >= self.resync_interval:
+            phi = None
+        else:
+            phi = parent.phi + self._event_delta_phi[index]
+            self._entries_since_resync += 1
+        return self._build_entry(key, electrons, phi, state)
+
+    # ------------------------------------------------- scalar reference path
+
+    def candidate_rates_reference(self, state: SimulationState
+                                  ) -> Tuple[List[Candidate], np.ndarray]:
+        """The pre-vectorization scalar implementation, kept as the reference.
+
+        Evaluates every candidate one at a time from freshly computed island
+        potentials, with no caching whatsoever.  The fast path must agree with
+        this element for element; the equivalence tests enforce it.
+        """
+        offsets = np.array(self.model.system.offset_charge_vector())
+        island_index = self.model.island_index
+        for trap in self.traps:
+            if state.trap_occupancy.get(trap.name, False):
+                offsets[island_index(trap.island)] += trap.coupling
         voltages = self.model.system.source_voltage_vector()
         potentials = self.model.island_potentials(state.electrons, voltages, offsets)
         candidates: List[Candidate] = []
@@ -150,7 +463,69 @@ class MonteCarloKernel:
         exceeds ``max_waiting_time`` (in which case the state only advances in
         time and nothing is applied).
         """
-        candidates, rates = self.candidate_rates(state)
+        if not self.fast_path:
+            return self._step_reference(state, max_waiting_time)
+
+        # O(1) invalidation checks before consulting the memoised tables.
+        circuit = self.circuit
+        if self._voltages is None or circuit.bias_version != self._bias_version:
+            self._refresh_bias()
+        if self._offsets is None or circuit.charge_version != self._offsets_version \
+                or (self._n_traps and state.trap_occupancy != self._trap_snapshot):
+            self._refresh_offsets(state)
+
+        key = self._entry_key(state.electrons)
+        entry = self._rate_cache.get(key)
+        if entry is None:
+            entry = self._build_entry(key,
+                                      np.array(state.electrons, dtype=np.int64),
+                                      None, state)
+
+        total_rate = entry.total
+        if total_rate <= 0.0:
+            if max_waiting_time is not None:
+                state.time += max_waiting_time
+            return None
+
+        waiting = self._next_exponential() / total_rate
+        if max_waiting_time is not None and waiting > max_waiting_time:
+            state.time += max_waiting_time
+            return None
+
+        cumulative = entry.cumulative
+        index = cumulative.searchsorted(self._next_uniform() * total_rate,
+                                        side="right")
+        if index > entry.last_selectable:
+            index = entry.last_selectable
+        state.time += waiting
+        if index < self._n_events:
+            successor = entry.successors[index]
+            if successor is None:
+                successor = self._descend(entry, index, state)
+                entry.successors[index] = successor
+            state.electrons = successor.electrons.copy()
+            transfers = state.electron_transfers
+            for name, direction in self._event_transfers[index]:
+                transfers[name] += direction
+            chosen = self._event_candidates[index]
+        else:
+            position = index - self._n_events
+            trap = self.traps[position]
+            occupied = state.trap_occupancy.get(trap.name, False)
+            chosen = (self._trap_emission_candidates[position] if occupied
+                      else self._trap_capture_candidates[position])
+            chosen.apply(state, self.model)
+            # The trap snapshot is now stale; the next step re-derives the
+            # offsets and looks the configuration up under the new trap key.
+        state.event_count += 1
+        return KernelStep(waiting_time=waiting, candidate=chosen,
+                          total_rate=total_rate)
+
+    def _step_reference(self, state: SimulationState,
+                        max_waiting_time: Optional[float] = None
+                        ) -> Optional[KernelStep]:
+        """The pre-refactor scalar step, driven by :meth:`candidate_rates_reference`."""
+        candidates, rates = self.candidate_rates_reference(state)
         total_rate = float(rates.sum()) if rates.size else 0.0
         if total_rate <= 0.0:
             if max_waiting_time is not None:
@@ -167,7 +542,6 @@ class MonteCarloKernel:
         index = int(np.searchsorted(cumulative, threshold, side="right"))
         index = min(index, len(candidates) - 1)
         chosen = candidates[index]
-
         state.time += waiting
         chosen.apply(state, self.model)
         state.event_count += 1

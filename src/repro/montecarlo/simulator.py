@@ -6,10 +6,16 @@ co-tunnelling channels and background-charge traps.  It is the "detailed
 Monte-Carlo simulator that captures all the necessary physics but is limited
 in terms of circuit size" from the paper's §4; the complementary fast/compact
 path is :mod:`repro.compact`.
+
+Voltage sweeps are batched: :meth:`MonteCarloSimulator.sweep_source` carries a
+*warm* simulation state from one bias point to the next (the kernel's cached
+event tables and potentials survive the bias change) and can optionally fan
+the points out over worker processes.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -18,6 +24,7 @@ from ..circuit.netlist import Circuit
 from ..circuit.validation import validate_circuit
 from ..constants import E_CHARGE
 from ..errors import SimulationError
+from .events import TrapCandidate
 from .kernel import MonteCarloKernel
 from .observables import (
     CurrentEstimate,
@@ -48,19 +55,29 @@ class MonteCarloSimulator:
     validate:
         Set to ``False`` to skip circuit validation (used by tests that
         deliberately build pathological circuits).
+    fast_path:
+        Use the vectorized kernel implementation (default).  ``False`` runs
+        the scalar reference kernel — slower, kept for cross-checking.
+    resync_interval:
+        Events between full island-potential re-solves on the fast path.
     """
 
     def __init__(self, circuit: Circuit, temperature: float,
                  seed: Optional[int] = None,
                  include_cotunneling: bool = False,
-                 validate: bool = True) -> None:
+                 validate: bool = True,
+                 fast_path: bool = True,
+                 resync_interval: int = 1024) -> None:
         if validate:
             validate_circuit(circuit).raise_if_invalid()
         self.circuit = circuit
         self.temperature = float(temperature)
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.kernel = MonteCarloKernel(circuit, temperature, self.rng,
-                                       include_cotunneling=include_cotunneling)
+                                       include_cotunneling=include_cotunneling,
+                                       fast_path=fast_path,
+                                       resync_interval=resync_interval)
 
     # ------------------------------------------------------------------- runs
 
@@ -104,6 +121,8 @@ class MonteCarloSimulator:
         records: List[EventRecord] = []
         trap_flips = 0
         stall_strikes = 0
+        kernel_step = self.kernel.step
+        track_occupation = occupation is not None
 
         while True:
             if max_events is not None and state.event_count - start_events >= max_events:
@@ -113,10 +132,13 @@ class MonteCarloSimulator:
             remaining = None
             if duration is not None:
                 remaining = duration - (state.time - start_time)
-            previous_electrons = tuple(int(v) for v in state.electrons)
-            previous_time = state.time
-            step = self.kernel.step(state, max_waiting_time=remaining)
-            if occupation is not None:
+            if track_occupation:
+                # Snapshot only when a consumer exists: building a tuple per
+                # step would otherwise dominate the fast kernel.
+                previous_electrons = state.electron_tuple()
+                previous_time = state.time
+            step = kernel_step(state, max_waiting_time=remaining)
+            if track_occupation:
                 occupation.record(previous_electrons, state.time - previous_time)
             if step is None:
                 if duration is not None:
@@ -130,20 +152,20 @@ class MonteCarloSimulator:
                     break
                 continue
             stall_strikes = 0
-            if step.candidate.label.startswith("trap:"):
+            if isinstance(step.candidate, TrapCandidate):
                 trap_flips += 1
             if record_events:
                 records.append(EventRecord(
                     time=state.time,
                     label=step.candidate.label,
-                    electrons=tuple(int(v) for v in state.electrons),
+                    electrons=state.electron_tuple(),
                 ))
 
         return TrajectoryResult(
             duration=state.time - start_time,
             event_count=state.event_count - start_events,
             electron_transfers=dict(state.electron_transfers),
-            final_electrons=tuple(int(v) for v in state.electrons),
+            final_electrons=state.electron_tuple(),
             records=records,
             trap_flips=trap_flips,
         )
@@ -172,14 +194,21 @@ class MonteCarloSimulator:
         blocks:
             Number of blocks for the error estimate.
         """
+        self._check_estimator_args(junction_name, blocks)
+        state = self.new_state()
+        if warmup_events > 0:
+            self.run(max_events=warmup_events, state=state)
+        return self._estimate_current(state, junction_name, max_events, blocks)
+
+    def _check_estimator_args(self, junction_name: str, blocks: int) -> None:
         if not self.circuit.has_element(junction_name):
             raise SimulationError(f"unknown junction {junction_name!r}")
         if blocks < 2:
             raise SimulationError("need at least 2 blocks for an error estimate")
-        state = self.new_state()
-        if warmup_events > 0:
-            self.run(max_events=warmup_events, state=state)
 
+    def _estimate_current(self, state: SimulationState, junction_name: str,
+                          max_events: int, blocks: int) -> CurrentEstimate:
+        """Block-averaged current estimate continuing from ``state``."""
         per_block = max(1, max_events // blocks)
         charges: List[float] = []
         durations: List[float] = []
@@ -213,20 +242,66 @@ class MonteCarloSimulator:
 
     def sweep_source(self, source: str, values: Sequence[float],
                      junction_name: str, max_events: int = 20_000,
-                     warmup_events: int = 1_000) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                     warmup_events: int = 1_000,
+                     warm_start: bool = True,
+                     workers: int = 1
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Sweep a voltage source and estimate the current at every point.
+
+        Parameters
+        ----------
+        source:
+            Voltage source (element or node name) to sweep.
+        values:
+            Bias values to visit, in order.
+        junction_name:
+            Junction whose current is estimated at each point.
+        max_events, warmup_events:
+            Per-point event budgets (see :meth:`stationary_current`).
+        warm_start:
+            Carry the simulation state from one bias point to the next instead
+            of re-equilibrating from a cold ground state every time.  The
+            kernel's construction-time event tables survive the bias change
+            (the per-configuration rate memo is rebuilt, since every rate
+            depends on the bias).  Set to ``False`` for the legacy cold-start
+            behaviour.
+        workers:
+            Number of worker processes.  ``1`` (default) runs in-process;
+            larger values partition the bias points over a process pool, each
+            worker simulating an independent circuit copy with a seed derived
+            from this simulator's seed.
 
         Returns ``(values, currents, stderrs)``.
         """
+        self._check_estimator_args(junction_name, blocks=10)
+        if workers > 1 and len(values) > 1:
+            return self._sweep_parallel(source, values, junction_name,
+                                        max_events, warmup_events, warm_start,
+                                        workers)
+
         original = dict(self.circuit.source_voltages())
         currents = np.empty(len(values))
         errors = np.empty(len(values))
+        state: Optional[SimulationState] = None
         try:
             for position, value in enumerate(values):
                 self.circuit.set_source_voltage(source, float(value))
-                estimate = self.stationary_current(junction_name,
-                                                   max_events=max_events,
-                                                   warmup_events=warmup_events)
+                if warm_start:
+                    if state is None:
+                        state = self.new_state()
+                    # Zero the clock per point: a blockaded point advances the
+                    # simulated time by ~1/rate (astronomical), after which
+                    # float64 can no longer resolve nanosecond increments and
+                    # every elapsed-time difference would collapse to zero.
+                    state.time = 0.0
+                    if warmup_events > 0:
+                        self.run(max_events=warmup_events, state=state)
+                    estimate = self._estimate_current(state, junction_name,
+                                                      max_events, blocks=10)
+                else:
+                    estimate = self.stationary_current(junction_name,
+                                                       max_events=max_events,
+                                                       warmup_events=warmup_events)
                 currents[position] = estimate.mean
                 errors[position] = estimate.stderr
         finally:
@@ -234,6 +309,66 @@ class MonteCarloSimulator:
                 if node_name != "gnd":
                     self.circuit.set_source_voltage(node_name, voltage)
         return np.asarray(values, dtype=float), currents, errors
+
+    def _sweep_parallel(self, source: str, values: Sequence[float],
+                        junction_name: str, max_events: int,
+                        warmup_events: int, warm_start: bool, workers: int
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Partition the bias points over a process pool."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        workers = min(int(workers), len(values), os.cpu_count() or 1)
+        chunks = [list(chunk) for chunk in np.array_split(np.asarray(values, float),
+                                                          workers)]
+        chunks = [chunk for chunk in chunks if chunk]
+        # Worker seeds come from this simulator's generator, not its fixed
+        # seed, so repeated sweeps on the same simulator produce independent
+        # estimates (as the serial path does) while staying reproducible for
+        # a seeded simulator.
+        root = np.random.SeedSequence(int(self.rng.integers(2**63)))
+        seeds = [int(child.generate_state(1)[0])
+                 for child in root.spawn(len(chunks))]
+        payloads = [
+            (self.circuit.copy(), self.temperature,
+             self.kernel.include_cotunneling, self.kernel.fast_path,
+             self.kernel.resync_interval, source, chunk, junction_name,
+             max_events, warmup_events, warm_start, seed)
+            for chunk, seed in zip(chunks, seeds)
+        ]
+        currents: List[float] = []
+        errors: List[float] = []
+        try:
+            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+                for chunk_result in pool.map(_sweep_chunk, payloads):
+                    for mean, stderr in chunk_result:
+                        currents.append(mean)
+                        errors.append(stderr)
+        except (OSError, ImportError):
+            # No usable process pool in this environment: degrade gracefully.
+            return self.sweep_source(source, values, junction_name,
+                                     max_events=max_events,
+                                     warmup_events=warmup_events,
+                                     warm_start=warm_start, workers=1)
+        return (np.asarray(values, dtype=float), np.asarray(currents),
+                np.asarray(errors))
+
+
+def _sweep_chunk(payload) -> List[Tuple[float, float]]:
+    """Worker body of :meth:`MonteCarloSimulator._sweep_parallel` (picklable)."""
+    (circuit, temperature, include_cotunneling, fast_path, resync_interval,
+     source, values, junction_name, max_events, warmup_events, warm_start,
+     seed) = payload
+    simulator = MonteCarloSimulator(circuit, temperature, seed=seed,
+                                    include_cotunneling=include_cotunneling,
+                                    validate=False, fast_path=fast_path,
+                                    resync_interval=resync_interval)
+    out: List[Tuple[float, float]] = []
+    _, currents, errors = simulator.sweep_source(
+        source, values, junction_name, max_events=max_events,
+        warmup_events=warmup_events, warm_start=warm_start, workers=1)
+    for mean, stderr in zip(currents, errors):
+        out.append((float(mean), float(stderr)))
+    return out
 
 
 __all__ = ["MonteCarloSimulator"]

@@ -49,6 +49,10 @@ class SimulationState:
             electron_transfers=dict(self.electron_transfers),
         )
 
+    def electron_tuple(self) -> tuple:
+        """The electron-number vector as a plain tuple of ints (hashable)."""
+        return tuple(int(value) for value in self.electrons)
+
 
 def initial_state(circuit: Circuit, model: Optional[EnergyModel] = None,
                   electrons: Optional[np.ndarray] = None) -> SimulationState:
