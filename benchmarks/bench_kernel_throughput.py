@@ -16,6 +16,7 @@ performance trajectory is tracked across PRs.  Run it either through pytest
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -32,8 +33,9 @@ TEMPERATURE = 1.0
 DRAIN_VOLTAGE = 0.05
 GATE_VOLTAGE = 0.04
 WARMUP_EVENTS = 1_000
-FAST_EVENTS = 200_000
-REFERENCE_EVENTS = 20_000
+# Event budgets; the CI smoke run shrinks them through the environment.
+FAST_EVENTS = int(os.environ.get("REPRO_BENCH_FAST_EVENTS", "200000"))
+REFERENCE_EVENTS = int(os.environ.get("REPRO_BENCH_REFERENCE_EVENTS", "20000"))
 REQUIRED_SPEEDUP = 5.0
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"

@@ -1,0 +1,172 @@
+"""Master-equation sweep throughput — sparse structure reuse vs dense rebuild.
+
+The paper positions the master equation as the fast, accurate mid-tier
+between the detailed Monte-Carlo simulator and compact models; the ceiling of
+that tier is set by how large a state window the solver can handle and how
+cheaply it moves between operating points.  This benchmark measures sweep
+throughput (solved bias points per second) on a coupled double dot with a
+``(2 * WINDOW_HALF)^2``-state window (10 000 states at the default
+``WINDOW_HALF = 50``) for
+
+* the **sparse structure-reusing path**: one
+  :class:`~repro.master.transitions.TransitionTable` serves the whole sweep —
+  per point only the rate values are refreshed (one vectorized
+  ``orthodox_rate_vec`` call) and one sparse LU system is solved — and
+* the **dense rebuild-per-point baseline**: a fresh solver per point, dense
+  generator assembly (an ``N x N`` float64 array: 0.8 GB at 10^4 states —
+  the 200 000-state cap would need ~320 GB, which is why the dense path
+  "cannot even allocate" the windows the sparse engine treats as routine) and
+  a dense ``np.linalg.solve``,
+
+and writes the numbers to ``BENCH_master.json`` in the repository root so the
+performance trajectory is tracked across PRs, next to ``BENCH_kernel.json``.
+Run it either through pytest (``pytest benchmarks/bench_master_solver.py -s``)
+or directly (``PYTHONPATH=src python benchmarks/bench_master_solver.py``).
+
+Environment overrides (used by the CI smoke run):
+
+``REPRO_BENCH_MASTER_WINDOW``
+    Per-island half-width of the window (default 50 → 100 x 100 states).
+``REPRO_BENCH_MASTER_SPARSE_POINTS`` / ``REPRO_BENCH_MASTER_DENSE_POINTS``
+    Sweep-point budgets of the two paths (defaults 20 / 2; the dense path
+    takes ~30 s *per point* at the default window, so it gets few points).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuit import Circuit
+from repro.master import MasterEquationSolver, build_state_space
+
+try:
+    from .conftest import print_experiment_header
+except ImportError:  # executed directly: python benchmarks/bench_master_solver.py
+    from conftest import print_experiment_header
+
+TEMPERATURE = 10.0
+BIAS_VOLTAGE = 0.02
+GATE_SPAN = 0.01
+JUNCTION_CAPACITANCE = 1e-15
+
+WINDOW_HALF = int(os.environ.get("REPRO_BENCH_MASTER_WINDOW", "50"))
+SPARSE_POINTS = int(os.environ.get("REPRO_BENCH_MASTER_SPARSE_POINTS", "20"))
+DENSE_POINTS = int(os.environ.get("REPRO_BENCH_MASTER_DENSE_POINTS", "2"))
+REQUIRED_SPEEDUP = 5.0
+REQUIRED_AGREEMENT = 1e-10
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_master.json"
+
+
+def build_double_dot(bias_voltage: float = BIAS_VOLTAGE) -> Circuit:
+    """Two islands in series between a biased lead and ground, with gates.
+
+    Junction capacitances in the femtofarad range keep the charging energy
+    small enough that, at the benchmark temperature, the whole window carries
+    finite rates — the hardest (fully coupled) case for both solvers.
+    """
+    circuit = Circuit("bench_double_dot")
+    circuit.add_island("dot_a")
+    circuit.add_island("dot_b")
+    circuit.add_voltage_source("VL", "lead", bias_voltage)
+    circuit.add_voltage_source("VGA", "gate_a", 0.0)
+    circuit.add_voltage_source("VGB", "gate_b", 0.0)
+    circuit.add_junction("J_left", "lead", "dot_a", JUNCTION_CAPACITANCE, 1e6)
+    circuit.add_junction("J_mid", "dot_a", "dot_b",
+                         0.5 * JUNCTION_CAPACITANCE, 2e6)
+    circuit.add_junction("J_right", "dot_b", "gnd",
+                         1.2 * JUNCTION_CAPACITANCE, 1.5e6)
+    circuit.add_capacitor("C_gate_a", "gate_a", "dot_a",
+                          0.4 * JUNCTION_CAPACITANCE)
+    circuit.add_capacitor("C_gate_b", "gate_b", "dot_b",
+                          0.3 * JUNCTION_CAPACITANCE)
+    return circuit
+
+
+def benchmark_window():
+    half = WINDOW_HALF
+    return build_state_space([(-half + 1, half), (-half + 1, half)])
+
+
+def gate_values(points: int) -> np.ndarray:
+    return np.linspace(0.0, GATE_SPAN, points)
+
+
+def measure_sparse(points: int) -> tuple:
+    """End-to-end sparse sweep (table build included), points per second."""
+    space = benchmark_window()
+    solver = MasterEquationSolver(build_double_dot(), TEMPERATURE,
+                                  state_space=space, method="sparse")
+    values = gate_values(points)
+    start = time.perf_counter()
+    _, currents = solver.sweep_source("VGA", values, "J_left")
+    elapsed = time.perf_counter() - start
+    return points / elapsed, currents
+
+
+def measure_dense(points: int) -> tuple:
+    """Dense rebuild-per-point baseline: fresh solver + dense solve per point.
+
+    The dense path visits a prefix of the sparse sweep's grid so the two
+    current traces are directly comparable; its budget is therefore capped at
+    the sparse point count.
+    """
+    points = min(points, SPARSE_POINTS)
+    values = gate_values(SPARSE_POINTS)[:points]
+    currents = np.empty(points)
+    start = time.perf_counter()
+    for position, value in enumerate(values):
+        circuit = build_double_dot()
+        circuit.set_source_voltage("VGA", float(value))
+        solver = MasterEquationSolver(circuit, TEMPERATURE,
+                                      state_space=benchmark_window(),
+                                      method="dense")
+        currents[position] = solver.current("J_left")
+    elapsed = time.perf_counter() - start
+    return points / elapsed, currents
+
+
+def run_benchmark() -> dict:
+    state_count = benchmark_window().size
+    sparse_pps, sparse_currents = measure_sparse(SPARSE_POINTS)
+    dense_pps, dense_currents = measure_dense(min(DENSE_POINTS, SPARSE_POINTS))
+    shared = min(len(sparse_currents), len(dense_currents))
+    scale = np.abs(dense_currents[:shared]).max()
+    agreement = float(np.abs(sparse_currents[:shared]
+                             - dense_currents[:shared]).max() / scale)
+    payload = {
+        "benchmark": "master_sweep_throughput",
+        "device": "coupled double dot (1 fF junctions, series bias)",
+        "temperature_K": TEMPERATURE,
+        "bias_voltage_V": BIAS_VOLTAGE,
+        "state_count": state_count,
+        "sparse_points_per_second": round(sparse_pps, 3),
+        "dense_points_per_second": round(dense_pps, 5),
+        "speedup": round(sparse_pps / dense_pps, 1),
+        "sparse_point_budget": SPARSE_POINTS,
+        "dense_point_budget": len(dense_currents),
+        "relative_current_agreement": agreement,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_master_sweep_throughput():
+    print_experiment_header(
+        "MASTER", "sparse structure-reusing sweep >= 5x dense rebuild-per-point")
+    payload = run_benchmark()
+    print(f"window          : {payload['state_count']:>12,} states")
+    print(f"sparse path     : {payload['sparse_points_per_second']:>12,.2f} points/s")
+    print(f"dense baseline  : {payload['dense_points_per_second']:>12,.5f} points/s")
+    print(f"speedup         : {payload['speedup']:>12,.1f}x")
+    print(f"agreement       : {payload['relative_current_agreement']:>12.2e} (relative)")
+    print(f"written to      : {OUTPUT_PATH}")
+    assert payload["speedup"] >= REQUIRED_SPEEDUP
+    assert payload["relative_current_agreement"] <= REQUIRED_AGREEMENT
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

@@ -96,17 +96,30 @@ def compute_stability_diagram(set_model, gate_voltages: Sequence[float],
     """Compute a stability diagram from any model with ``drain_current(vd, vg)``.
 
     Both :class:`~repro.compact.set_model.AnalyticSETModel` and
-    :class:`~repro.compact.set_model.MasterEquationSETModel` qualify; the
-    analytic model is the practical choice for dense maps.
+    :class:`~repro.compact.set_model.MasterEquationSETModel` qualify.  Models
+    that expose a batched ``drain_current_map(drain, gate)`` (all the SET
+    models in :mod:`repro.compact.set_model` do) evaluate the whole map in
+    one call — one broadcast expression for the analytic model, one
+    structure-reusing master-equation sweep for the exact one — instead of
+    ``len(drain) * len(gate)`` scalar calls.
     """
     gate = np.asarray(gate_voltages, dtype=float)
     drain = np.asarray(drain_voltages, dtype=float)
     if gate.size < 2 or drain.size < 2:
         raise AnalysisError("need at least a 2 x 2 grid")
-    currents = np.empty((drain.size, gate.size))
-    for row, vd in enumerate(drain):
-        for column, vg in enumerate(gate):
-            currents[row, column] = set_model.drain_current(float(vd), float(vg))
+    if hasattr(set_model, "drain_current_map"):
+        currents = np.asarray(set_model.drain_current_map(drain, gate),
+                              dtype=float)
+        if currents.shape != (drain.size, gate.size):
+            raise AnalysisError(
+                f"drain_current_map returned shape {currents.shape}, "
+                f"expected {(drain.size, gate.size)}")
+    else:
+        currents = np.empty((drain.size, gate.size))
+        for row, vd in enumerate(drain):
+            for column, vg in enumerate(gate):
+                currents[row, column] = set_model.drain_current(float(vd),
+                                                                float(vg))
     return StabilityDiagram(gate_voltages=gate, drain_voltages=drain,
                             currents=currents)
 

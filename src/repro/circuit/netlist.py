@@ -307,6 +307,22 @@ class Circuit:
         """Mapping source-node name -> voltage (includes ground at 0 V)."""
         return {node.name: node.voltage for node in self.source_nodes()}
 
+    def bias_snapshot(self) -> Dict[str, float]:
+        """Restorable snapshot of every non-ground source-node voltage.
+
+        Sweep drivers take one snapshot before mutating the bias and hand it
+        back to :meth:`restore_bias` in a ``finally`` block, so an exception
+        anywhere in the sweep (including window rebuilds) cannot leave the
+        circuit at a stray operating point.
+        """
+        return {node.name: node.voltage for node in self.source_nodes()
+                if node.kind is not NodeKind.GROUND}
+
+    def restore_bias(self, snapshot: Dict[str, float]) -> None:
+        """Restore source-node voltages saved by :meth:`bias_snapshot`."""
+        for node_name, voltage in snapshot.items():
+            self.set_source_voltage(node_name, voltage)
+
     def copy(self, name: Optional[str] = None) -> "Circuit":
         """Return an independent copy of the circuit."""
         clone = Circuit(name or self.name)

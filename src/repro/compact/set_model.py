@@ -23,8 +23,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
+import numpy as np
+
 from ..constants import E_CHARGE
-from ..core.rates import orthodox_rate
+from ..core.rates import orthodox_rate, orthodox_rate_vec
 from ..errors import CircuitError
 
 
@@ -83,13 +85,13 @@ class AnalyticSETModel:
 
     # -------------------------------------------------------------- internals
 
-    def _in_energies(self, n: int, drain_voltage: float, gate_voltage: float,
-                     source_voltage: float) -> Tuple[float, float]:
+    def _in_energies(self, n, drain_voltage, gate_voltage, source_voltage):
         """Free-energy cost of adding one electron to the island from each lead.
 
         Returns ``(dF_drain_in, dF_source_in)`` evaluated in state ``n`` (the
         textbook closed-form expressions).  The reverse (electron leaving the
-        island from state ``n + 1``) has exactly the opposite sign.
+        island from state ``n + 1``) has exactly the opposite sign.  Pure
+        arithmetic: scalars and broadcastable arrays both work.
         """
         c_drain = self.drain_capacitance
         c_source = self.source_capacitance
@@ -116,8 +118,7 @@ class AnalyticSETModel:
 
     # -------------------------------------------------------------- interface
 
-    def drain_current(self, drain_voltage: float, gate_voltage: float,
-                      source_voltage: float = 0.0) -> float:
+    def drain_current(self, drain_voltage, gate_voltage, source_voltage=0.0):
         """Drain-to-source current in ampere (sequential compact model).
 
         The current is evaluated with a three-charge-state window; to keep the
@@ -125,17 +126,116 @@ class AnalyticSETModel:
         requirement for the Newton solver), the windows anchored at the two
         integer charge states bracketing the induced charge are blended
         linearly by its fractional part.
+
+        Scalar arguments take the original closed-form path and return a
+        ``float``; NumPy-array arguments broadcast through a vectorized
+        replica of the same branch structure (element-wise identical to the
+        scalar results) and return an array — this is what lets a dense
+        stability map evaluate in one call instead of ``len(vd) * len(vg)``
+        scalar calls.
         """
-        induced = self._induced_charge(drain_voltage, gate_voltage, source_voltage)
-        base = math.floor(induced)
+        if (np.ndim(drain_voltage) == 0 and np.ndim(gate_voltage) == 0
+                and np.ndim(source_voltage) == 0):
+            induced = self._induced_charge(drain_voltage, gate_voltage,
+                                           source_voltage)
+            base = math.floor(induced)
+            fraction = induced - base
+            lower = self._window_current(int(base), drain_voltage, gate_voltage,
+                                         source_voltage)
+            if fraction <= 1e-12:
+                return lower
+            upper = self._window_current(int(base) + 1, drain_voltage,
+                                         gate_voltage, source_voltage)
+            return (1.0 - fraction) * lower + fraction * upper
+        return self._drain_current_array(drain_voltage, gate_voltage,
+                                         source_voltage)
+
+    def drain_current_map(self, drain_voltages, gate_voltages,
+                          source_voltage: float = 0.0) -> np.ndarray:
+        """Dense ``(drain, gate)`` current map in one broadcast evaluation.
+
+        Returns an array of shape ``(len(drain_voltages),
+        len(gate_voltages))`` — the layout
+        :func:`repro.analysis.stability.compute_stability_diagram` consumes.
+        """
+        drain = np.asarray(drain_voltages, dtype=float).reshape(-1, 1)
+        gate = np.asarray(gate_voltages, dtype=float).reshape(1, -1)
+        return self._drain_current_array(drain, gate,
+                                         np.asarray(source_voltage, dtype=float))
+
+    def _drain_current_array(self, drain_voltage, gate_voltage,
+                             source_voltage) -> np.ndarray:
+        """Vectorized :meth:`drain_current` (same branches, array-valued)."""
+        vd, vg, vs = np.broadcast_arrays(np.asarray(drain_voltage, dtype=float),
+                                         np.asarray(gate_voltage, dtype=float),
+                                         np.asarray(source_voltage, dtype=float))
+        # _induced_charge is pure arithmetic and broadcasts over arrays.
+        induced = self._induced_charge(vd, vg, vs)
+        base = np.floor(induced)
         fraction = induced - base
-        lower = self._window_current(int(base), drain_voltage, gate_voltage,
-                                     source_voltage)
-        if fraction <= 1e-12:
-            return lower
-        upper = self._window_current(int(base) + 1, drain_voltage, gate_voltage,
-                                     source_voltage)
-        return (1.0 - fraction) * lower + fraction * upper
+        lower = self._window_current_array(base, vd, vg, vs)
+        upper = self._window_current_array(base + 1.0, vd, vg, vs)
+        blended = (1.0 - fraction) * lower + fraction * upper
+        return np.where(fraction <= 1e-12, lower, blended)
+
+    def _window_current_array(self, centre, vd, vg, vs) -> np.ndarray:
+        """Vectorized :meth:`_window_current` over an array of window centres.
+
+        ``_in_energies`` is pure arithmetic and broadcasts over arrays, so the
+        scalar and array paths share the electrostatics verbatim.
+        """
+        up_drain, up_source, down_drain, down_source = {}, {}, {}, {}
+        for offset in (-1, 0, 1):
+            drain_in, source_in = self._in_energies(centre + offset, vd, vg, vs)
+            up_drain[offset] = orthodox_rate_vec(drain_in, self.drain_resistance,
+                                                 self.temperature)
+            up_source[offset] = orthodox_rate_vec(source_in,
+                                                  self.source_resistance,
+                                                  self.temperature)
+            drain_in_below, source_in_below = self._in_energies(
+                centre + offset - 1.0, vd, vg, vs)
+            down_drain[offset] = orthodox_rate_vec(-drain_in_below,
+                                                   self.drain_resistance,
+                                                   self.temperature)
+            down_source[offset] = orthodox_rate_vec(-source_in_below,
+                                                    self.source_resistance,
+                                                    self.temperature)
+
+        up_centre = up_drain[0] + up_source[0]
+        down_upper = down_drain[1] + down_source[1]
+        down_centre = down_drain[0] + down_source[0]
+        up_lower = up_drain[-1] + up_source[-1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            weight_upper = np.where(
+                down_upper > 0.0, up_centre / down_upper,
+                np.where(up_centre == 0.0, 0.0, np.inf))
+            weight_lower = np.where(
+                up_lower > 0.0, down_centre / up_lower,
+                np.where(down_centre == 0.0, 0.0, np.inf))
+
+            lower_infinite = np.isinf(weight_lower)
+            upper_infinite = np.isinf(weight_upper)
+            infinite_count = (lower_infinite.astype(float)
+                              + upper_infinite.astype(float))
+            any_infinite = infinite_count > 0.0
+            # Same summation order as the scalar dict (centre, upper, lower).
+            total = 1.0 + weight_upper + weight_lower
+            divisor = np.where(any_infinite, 1.0, total)
+            share = np.where(any_infinite, infinite_count, 1.0)
+            probability_lower = np.where(any_infinite,
+                                         lower_infinite / share,
+                                         weight_lower / divisor)
+            probability_centre = np.where(any_infinite, 0.0, 1.0 / divisor)
+            probability_upper = np.where(any_infinite,
+                                         upper_infinite / share,
+                                         weight_upper / divisor)
+
+        current = ((probability_centre * down_drain[0]
+                    - probability_lower * up_drain[-1])
+                   + (probability_upper * down_drain[1]
+                      - probability_centre * up_drain[0]))
+        dead = ~any_infinite & (total <= 0.0)
+        return np.where(dead, 0.0, E_CHARGE * current)
 
     def _window_current(self, centre: int, drain_voltage: float, gate_voltage: float,
                         source_voltage: float) -> float:
@@ -275,10 +375,9 @@ class MasterEquationSETModel:
         self._cache[key] = current
         return current
 
-    def _solve(self, drain_voltage: float, gate_voltage: float,
-               source_voltage: float) -> float:
+    def _build_circuit(self, drain_voltage: float, gate_voltage: float,
+                       source_voltage: float):
         from ..circuit.netlist import Circuit
-        from ..master.steadystate import MasterEquationSolver
 
         circuit = Circuit("set_compact")
         circuit.add_island("dot", offset_charge=self.background_charge)
@@ -290,10 +389,37 @@ class MasterEquationSETModel:
         circuit.add_junction("J_source", "dot", "source", self.source_capacitance,
                              self.source_resistance)
         circuit.add_capacitor("C_gate", "gate", "dot", self.gate_capacitance)
+        return circuit
+
+    def _solve(self, drain_voltage: float, gate_voltage: float,
+               source_voltage: float) -> float:
+        from ..master.steadystate import MasterEquationSolver
+
+        circuit = self._build_circuit(drain_voltage, gate_voltage,
+                                      source_voltage)
         solver = MasterEquationSolver(circuit, temperature=self.temperature)
         # Conventional current from drain node into the island equals the
         # drain-to-source current of the device.
         return solver.current("J_drain")
+
+    def drain_current_map(self, drain_voltages, gate_voltages,
+                          source_voltage: float = 0.0) -> np.ndarray:
+        """Batched ``(drain, gate)`` current map from the master equation.
+
+        One circuit and one
+        :class:`~repro.master.transitions.TransitionTable` serve the whole
+        grid (per point only the rates are refreshed and one linear system is
+        solved), so dense maps no longer pay a full solver construction per
+        pixel.  Returns shape ``(len(drain_voltages), len(gate_voltages))``.
+        """
+        from ..master.steadystate import MasterEquationSolver
+
+        circuit = self._build_circuit(0.0, 0.0, float(source_voltage))
+        solver = MasterEquationSolver(circuit, temperature=self.temperature)
+        _, _, currents = solver.sweep_gate_drain(
+            "VG", "VD", np.asarray(gate_voltages, dtype=float),
+            np.asarray(drain_voltages, dtype=float), "J_drain")
+        return currents
 
     def clear_cache(self) -> None:
         """Drop all cached operating points (e.g. after mutating parameters)."""
@@ -361,10 +487,15 @@ class TunableSETModel:
         """Coulomb-oscillation gate period in volt."""
         return self._model.gate_period
 
-    def drain_current(self, drain_voltage: float, gate_voltage: float,
-                      source_voltage: float = 0.0) -> float:
-        """Drain current of the underlying analytic model."""
+    def drain_current(self, drain_voltage, gate_voltage, source_voltage=0.0):
+        """Drain current of the underlying analytic model (scalar or array)."""
         return self._model.drain_current(drain_voltage, gate_voltage, source_voltage)
+
+    def drain_current_map(self, drain_voltages, gate_voltages,
+                          source_voltage: float = 0.0) -> np.ndarray:
+        """Dense ``(drain, gate)`` current map of the underlying model."""
+        return self._model.drain_current_map(drain_voltages, gate_voltages,
+                                             source_voltage)
 
 
 @dataclass(frozen=True)

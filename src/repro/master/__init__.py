@@ -2,10 +2,14 @@
 
 from .builder import RateMatrixBuilder, Transition
 from .dynamics import EvolutionResult, MasterEquationDynamics
-from .statespace import MAX_STATES, StateSpace, auto_state_space, build_state_space
-from .steadystate import MasterEquationSolver, SteadyStateSolution
+from .statespace import (MAX_STATES, StateSpace, auto_state_space,
+                         auto_window_bounds, build_state_space)
+from .steadystate import (DENSE_STATE_CUTOFF, MasterEquationSolver,
+                          SteadyStateSolution)
+from .transitions import TransitionTable
 
 __all__ = [
+    "DENSE_STATE_CUTOFF",
     "EvolutionResult",
     "MAX_STATES",
     "MasterEquationDynamics",
@@ -14,6 +18,8 @@ __all__ = [
     "StateSpace",
     "SteadyStateSolution",
     "Transition",
+    "TransitionTable",
     "auto_state_space",
+    "auto_window_bounds",
     "build_state_space",
 ]

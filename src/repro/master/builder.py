@@ -1,12 +1,16 @@
 """Assembly of the master-equation rate matrix.
 
-For every enumerated charge state and every elementary tunnel event the
-builder evaluates the orthodox rate and records a :class:`Transition`.  The
-collected transitions define
+The builder separates *structure* from *values*: a
+:class:`~repro.master.transitions.TransitionTable` enumerates the state
+window, resolves every (source, target) index pair and precomputes the
+bias-independent part of each event energy once, after which only the rate
+values are refreshed when the operating point changes (one vectorized
+:func:`~repro.core.rates.orthodox_rate_vec` call).  The collected transitions
+define
 
 * the generator matrix ``M`` with ``M[j, i]`` = rate from state ``i`` to state
-  ``j`` and ``M[i, i] = -sum_j M[j, i]`` (columns sum to zero), used by the
-  steady-state and dynamics solvers, and
+  ``j`` and ``M[i, i] = -sum_j M[j, i]`` (columns sum to zero), assembled
+  either dense (NumPy array) or sparse (``scipy.sparse.csr_matrix``), and
 * per-junction bookkeeping needed to turn occupation probabilities into
   electrical currents.
 """
@@ -14,15 +18,16 @@ collected transitions define
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
+from scipy import sparse
 
 from ..circuit.netlist import Circuit
-from ..core.energy import EnergyModel, TunnelEvent
-from ..core.rates import orthodox_rate_vec
+from ..core.energy import EnergyModel
 from ..errors import StateSpaceError
 from .statespace import StateSpace, auto_state_space
+from .transitions import TransitionTable
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,7 @@ class RateMatrixBuilder:
         self.model = EnergyModel(circuit)
         self.extra_electrons = extra_electrons
         self._explicit_space = state_space
+        self._cached_table: Optional[TransitionTable] = None
 
     def state_space(self, voltages: Optional[np.ndarray] = None,
                     offsets: Optional[np.ndarray] = None) -> StateSpace:
@@ -85,61 +91,78 @@ class RateMatrixBuilder:
         return auto_state_space(self.model, extra_electrons=self.extra_electrons,
                                 voltages=voltages, offsets=offsets)
 
+    def transition_table(self, space: Optional[StateSpace] = None,
+                         voltages: Optional[np.ndarray] = None,
+                         offsets: Optional[np.ndarray] = None
+                         ) -> TransitionTable:
+        """The (cached) transition structure for a state window.
+
+        The expensive part — target lookup, index pairs, static energies — is
+        computed once per window and reused as long as consecutive calls
+        resolve to the same window (same object, or an automatic window with
+        identical states).  Only the rate values change with the bias.
+        """
+        if space is None:
+            space = self.state_space(voltages, offsets)
+        cached = self._cached_table
+        if cached is not None and (cached.space is space
+                                   or cached.space.states == space.states):
+            return cached
+        table = TransitionTable(self.model, space, self.temperature)
+        self._cached_table = table
+        return table
+
     def transitions(self, space: Optional[StateSpace] = None,
                     voltages: Optional[np.ndarray] = None,
                     offsets: Optional[np.ndarray] = None) -> List[Transition]:
         """Every allowed transition within the state window.
 
-        Rates are evaluated through the same vectorized event table as the
-        Monte-Carlo kernel: one potential solve per charge state, then all
-        event energies and rates in single array expressions.
+        Rates are evaluated through the structure-reusing
+        :class:`TransitionTable`: index pairs and static energies are
+        precomputed per window, then all rates follow from one vectorized
+        ``orthodox_rate_vec`` call.
         """
-        if space is None:
-            space = self.state_space(voltages, offsets)
-        if voltages is None:
-            voltages = self.model.system.source_voltage_vector()
-        table = self.model.table
-        events = table.events
-        junction_names = [event.junction.name for event in events]
-        directions = [event.direction for event in events]
-        found: List[Transition] = []
-        for source_index, configuration in enumerate(space.states):
-            electrons = np.array(configuration, dtype=np.int64)
-            potentials = self.model.island_potentials(electrons, voltages, offsets)
-            deltas = table.delta_f(potentials, voltages)
-            rates = orthodox_rate_vec(deltas, table.resistance, self.temperature)
-            targets = electrons[np.newaxis, :] + table.delta_n
-            for k in np.nonzero(rates > 0.0)[0]:
-                target_key = tuple(int(v) for v in targets[k])
-                target_index = space.index.get(target_key)
-                if target_index is None:
-                    continue
-                found.append(Transition(
-                    source_index=source_index,
-                    target_index=target_index,
-                    junction_name=junction_names[k],
-                    electron_direction=directions[k],
-                    rate=float(rates[k]),
-                    delta_f=float(deltas[k]),
-                ))
-        return found
+        table = self.transition_table(space, voltages, offsets)
+        rates, delta = table.rates(voltages, offsets)
+        return table.transitions_list(rates, delta)
 
     def generator_matrix(self, space: Optional[StateSpace] = None,
                          voltages: Optional[np.ndarray] = None,
                          offsets: Optional[np.ndarray] = None
                          ) -> Tuple[np.ndarray, List[Transition], StateSpace]:
-        """Generator matrix ``M`` (columns sum to zero), transitions and window.
+        """Dense generator matrix ``M``, transitions and window.
 
-        ``dp/dt = M p`` with ``p`` the vector of state probabilities.
+        ``dp/dt = M p`` with ``p`` the vector of state probabilities.  This is
+        the correctness-baseline path; use :meth:`generator` with
+        ``method="sparse"`` for large windows.
         """
-        if space is None:
-            space = self.state_space(voltages, offsets)
-        transitions = self.transitions(space, voltages, offsets)
-        matrix = np.zeros((space.size, space.size))
-        for transition in transitions:
-            matrix[transition.target_index, transition.source_index] += transition.rate
-            matrix[transition.source_index, transition.source_index] -= transition.rate
-        return matrix, transitions, space
+        table = self.transition_table(space, voltages, offsets)
+        rates, delta = table.rates(voltages, offsets)
+        matrix = table.dense_generator(rates)
+        return matrix, table.transitions_list(rates, delta), table.space
+
+    def generator(self, space: Optional[StateSpace] = None,
+                  voltages: Optional[np.ndarray] = None,
+                  offsets: Optional[np.ndarray] = None,
+                  method: str = "sparse"
+                  ) -> Tuple[Union[np.ndarray, sparse.csr_matrix],
+                             TransitionTable]:
+        """Generator matrix in the requested representation plus its table.
+
+        Parameters
+        ----------
+        method:
+            ``"sparse"`` for ``scipy.sparse.csr_matrix`` (the fast path for
+            large windows), ``"dense"`` for a NumPy array.
+        """
+        if method not in ("sparse", "dense"):
+            raise StateSpaceError(
+                f"unknown generator method {method!r}; use 'sparse' or 'dense'")
+        table = self.transition_table(space, voltages, offsets)
+        rates, _ = table.rates(voltages, offsets)
+        if method == "sparse":
+            return table.sparse_generator(rates), table
+        return table.dense_generator(rates), table
 
 
 __all__ = ["Transition", "RateMatrixBuilder"]

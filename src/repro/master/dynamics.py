@@ -1,12 +1,16 @@
 """Time evolution of the single-electron master equation.
 
-``dp/dt = M p`` is a small, stiff linear system.  For the window sizes used
-here (tens to a few hundred states) the matrix exponential is both exact and
-fast, so the propagator is evaluated with ``scipy.linalg.expm`` on a user
-supplied time grid.  The module also exposes relaxation-time extraction (the
-slowest non-zero eigenvalue of ``M``), which quantifies how fast a
-single-electron node settles after a switching event — one ingredient of the
-speed-limit experiment E9.
+``dp/dt = M p`` is a stiff linear system.  For small windows (tens to a few
+hundred states) the dense matrix exponential (``scipy.linalg.expm``) is both
+exact and fast and remains the correctness baseline (``method="dense"``).
+Large windows use the sparse generator and Krylov propagation through
+``scipy.sparse.linalg.expm_multiply`` (``method="sparse"``), which never
+materialises the ``N x N`` propagator; ``method="auto"`` (default) switches
+between the two at :data:`~repro.master.steadystate.DENSE_STATE_CUTOFF`
+states.  The module also exposes relaxation-time extraction (the slowest
+non-zero eigenvalue of ``M``), which quantifies how fast a single-electron
+node settles after a switching event — one ingredient of the speed-limit
+experiment E9.
 """
 
 from __future__ import annotations
@@ -16,12 +20,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.linalg import expm
+from scipy.sparse.linalg import expm_multiply
 
 from ..circuit.netlist import Circuit
-from ..constants import E_CHARGE
 from ..errors import SolverError
-from .builder import RateMatrixBuilder, Transition
+from .builder import RateMatrixBuilder
 from .statespace import StateSpace
+from .steadystate import resolve_solver_method, validate_solver_method
 
 
 @dataclass
@@ -80,16 +85,27 @@ class MasterEquationDynamics:
         Temperature in kelvin.
     extra_electrons:
         Half-width of the automatic charge-state window.
+    method:
+        ``"auto"`` (default), ``"dense"`` (``scipy.linalg.expm`` propagator,
+        the correctness baseline) or ``"sparse"``
+        (``scipy.sparse.linalg.expm_multiply`` on the CSR generator, for
+        windows the dense exponential cannot handle).
     """
 
     def __init__(self, circuit: Circuit, temperature: float,
                  extra_electrons: int = 3,
-                 state_space: Optional[StateSpace] = None) -> None:
+                 state_space: Optional[StateSpace] = None,
+                 method: str = "auto") -> None:
+        validate_solver_method(method)
         self.circuit = circuit
         self.temperature = float(temperature)
+        self.method = method
         self.builder = RateMatrixBuilder(circuit, temperature,
                                          state_space=state_space,
                                          extra_electrons=extra_electrons)
+
+    def _resolve_method(self, state_count: int) -> str:
+        return resolve_solver_method(self.method, state_count)
 
     def evolve(self, times: Sequence[float],
                initial: Optional[Dict[Tuple[int, ...], float]] = None,
@@ -112,17 +128,27 @@ class MasterEquationDynamics:
         if np.any(np.diff(times_array) <= 0.0):
             raise SolverError("time points must be strictly increasing")
 
-        matrix, transitions, space = self.builder.generator_matrix(
-            voltages=voltages, offsets=offsets)
+        table = self.builder.transition_table(voltages=voltages,
+                                              offsets=offsets)
+        space = table.space
+        rates, _ = table.rates(voltages, offsets)
+        method = self._resolve_method(space.size)
         probability = self._initial_vector(space, initial, voltages, offsets)
 
         junction_names = [junction.name for junction in self.circuit.junctions()]
         results = np.empty((times_array.size, space.size))
         results[0] = probability
+        if method == "dense":
+            matrix = table.dense_generator(rates)
+        else:
+            matrix = table.sparse_generator(rates)
         for position in range(1, times_array.size):
             step = times_array[position] - times_array[position - 1]
-            propagator = expm(matrix * step)
-            probability = propagator @ probability
+            if method == "dense":
+                probability = expm(matrix * step) @ probability
+            else:
+                # Krylov propagation: exp(M dt) p without forming exp(M dt).
+                probability = expm_multiply(matrix * step, probability)
             probability = np.clip(probability, 0.0, None)
             total = probability.sum()
             if total <= 0.0:
@@ -132,7 +158,7 @@ class MasterEquationDynamics:
 
         states = space.as_array()
         mean_electrons = results @ states
-        currents = _instantaneous_currents(junction_names, transitions, results)
+        currents = table.junction_current_series(results, rates)
         return EvolutionResult(
             times=times_array,
             probabilities=results,
@@ -156,11 +182,14 @@ class MasterEquationDynamics:
         """
         from .steadystate import MasterEquationSolver
 
-        matrix, _, space = self.builder.generator_matrix(voltages=voltages,
-                                                         offsets=offsets)
+        table = self.builder.transition_table(voltages=voltages,
+                                              offsets=offsets)
+        space = table.space
+        rates, _ = table.rates(voltages, offsets)
         steady = MasterEquationSolver(self.circuit, self.temperature,
-                                      state_space=space).solve(voltages=voltages,
-                                                               offsets=offsets)
+                                      state_space=space,
+                                      method=self.method).solve(
+                                          voltages=voltages, offsets=offsets)
         # Restrict the dynamics to the states that actually carry stationary
         # probability; the exponentially unlikely corner states of the window
         # would otherwise contribute astronomically slow but irrelevant modes.
@@ -168,7 +197,14 @@ class MasterEquationDynamics:
                               > participation_tolerance)[0]
         if relevant.size < 2:
             relevant = np.argsort(steady.probabilities)[-2:]
-        block = matrix[np.ix_(relevant, relevant)].copy()
+        # Only the small "relevant" sub-block is ever diagonalised, so build
+        # it without materialising the full N x N generator on large windows.
+        if self._resolve_method(space.size) == "dense":
+            matrix = table.dense_generator(rates)
+            block = matrix[np.ix_(relevant, relevant)].copy()
+        else:
+            sparse_matrix = table.sparse_generator(rates)
+            block = sparse_matrix[relevant][:, relevant].toarray()
         # Re-close the restricted generator (drop the tiny leakage into the
         # excluded states) so its zero mode is exact and the remaining
         # eigenvalues are genuine relaxation rates within the relevant manifold.
@@ -206,18 +242,6 @@ class MasterEquationDynamics:
         if total <= 0.0:
             raise SolverError("initial distribution must have positive total weight")
         return vector / total
-
-
-def _instantaneous_currents(junction_names: List[str],
-                            transitions: List[Transition],
-                            probabilities: np.ndarray) -> np.ndarray:
-    currents = np.zeros((probabilities.shape[0], len(junction_names)))
-    column = {name: position for position, name in enumerate(junction_names)}
-    for transition in transitions:
-        flow = probabilities[:, transition.source_index] * transition.rate
-        currents[:, column[transition.junction_name]] += \
-            -transition.electron_direction * E_CHARGE * flow
-    return currents
 
 
 __all__ = ["MasterEquationDynamics", "EvolutionResult"]

@@ -19,8 +19,11 @@ import numpy as np
 from ..core.energy import EnergyModel
 from ..errors import StateSpaceError
 
-#: Hard cap on the number of enumerated states; beyond this the master
+#: Hard cap on the number of enumerated states.  The sparse engine
+#: (``method="sparse"``) solves windows up to this size; beyond it the master
 #: equation is the wrong tool and the Monte-Carlo simulator should be used.
+#: (The dense path tops out far earlier — an N x N float64 generator needs
+#: ``8 N^2`` bytes, i.e. ~320 GB at this cap.)
 MAX_STATES = 200_000
 
 
@@ -85,6 +88,28 @@ def build_state_space(bounds: Sequence[Tuple[int, int]]) -> StateSpace:
     return StateSpace(states=states, index=index)
 
 
+def auto_window_bounds(model: EnergyModel, extra_electrons: int = 3,
+                       voltages: Optional[np.ndarray] = None,
+                       offsets: Optional[np.ndarray] = None
+                       ) -> Tuple[List[Tuple[int, int]], np.ndarray]:
+    """Bounds of the automatic window plus the ground state that centres it.
+
+    The sweep drivers use this to decide whether a cached
+    :class:`~repro.master.transitions.TransitionTable` still covers the new
+    operating point without enumerating the window again.
+    """
+    if extra_electrons < 1:
+        raise StateSpaceError(
+            f"extra_electrons must be at least 1, got {extra_electrons!r}"
+        )
+    if model.island_count == 0:
+        raise StateSpaceError("the circuit has no islands; nothing to enumerate")
+    ground = model.ground_state(max_electrons=extra_electrons + 5,
+                                voltages=voltages, offsets=offsets)
+    bounds = [(int(n) - extra_electrons, int(n) + extra_electrons) for n in ground]
+    return bounds, ground
+
+
 def auto_state_space(model: EnergyModel, extra_electrons: int = 3,
                      voltages: Optional[np.ndarray] = None,
                      offsets: Optional[np.ndarray] = None) -> StateSpace:
@@ -102,16 +127,10 @@ def auto_state_space(model: EnergyModel, extra_electrons: int = 3,
         Optional overrides of the circuit's source voltages / offset charges
         (used by sweeps so the window follows the operating point).
     """
-    if extra_electrons < 1:
-        raise StateSpaceError(
-            f"extra_electrons must be at least 1, got {extra_electrons!r}"
-        )
-    if model.island_count == 0:
-        raise StateSpaceError("the circuit has no islands; nothing to enumerate")
-    ground = model.ground_state(max_electrons=extra_electrons + 5,
-                                voltages=voltages, offsets=offsets)
-    bounds = [(int(n) - extra_electrons, int(n) + extra_electrons) for n in ground]
+    bounds, _ = auto_window_bounds(model, extra_electrons=extra_electrons,
+                                   voltages=voltages, offsets=offsets)
     return build_state_space(bounds)
 
 
-__all__ = ["StateSpace", "build_state_space", "auto_state_space", "MAX_STATES"]
+__all__ = ["StateSpace", "build_state_space", "auto_state_space",
+           "auto_window_bounds", "MAX_STATES"]

@@ -61,3 +61,46 @@ class TestStabilityDiagram:
         assert height == pytest.approx(E_CHARGE / 4e-18)
         with pytest.raises(AnalysisError):
             theoretical_diamond(0.0, 1e-18)
+
+
+class TestBatchedMapPath:
+    def test_batched_map_equals_scalar_double_loop(self):
+        class ScalarOnly:
+            """Minimal model without drain_current_map (legacy path)."""
+
+            def __init__(self):
+                self._model = AnalyticSETModel(temperature=1.0)
+
+            def drain_current(self, vd, vg, vs=0.0):
+                return self._model.drain_current(vd, vg, vs)
+
+        gate_voltages = np.linspace(0.0, 0.16, 12)
+        drain_voltages = np.linspace(-0.05, 0.05, 9)
+        batched = compute_stability_diagram(AnalyticSETModel(temperature=1.0),
+                                            gate_voltages, drain_voltages)
+        scalar = compute_stability_diagram(ScalarOnly(), gate_voltages,
+                                           drain_voltages)
+        np.testing.assert_allclose(batched.currents, scalar.currents,
+                                   rtol=1e-12, atol=1e-25)
+
+    def test_malformed_map_shape_rejected(self):
+        class BadMap:
+            def drain_current(self, vd, vg, vs=0.0):
+                return 0.0
+
+            def drain_current_map(self, drains, gates):
+                return np.zeros((1, 1))
+
+        with pytest.raises(AnalysisError, match="shape"):
+            compute_stability_diagram(BadMap(), [0.0, 0.1], [0.0, 0.1])
+
+    def test_master_equation_model_uses_batched_sweep(self):
+        from repro.compact import MasterEquationSETModel
+
+        model = MasterEquationSETModel(temperature=2.0)
+        gate_voltages = np.linspace(0.0, 0.08, 3)
+        drain_voltages = np.linspace(0.01, 0.05, 2)
+        result = compute_stability_diagram(model, gate_voltages,
+                                           drain_voltages)
+        assert result.shape == (2, 3)
+        assert np.all(np.isfinite(result.currents))

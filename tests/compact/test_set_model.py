@@ -115,3 +115,74 @@ class TestSETDeviceWrapper:
         currents = device.terminal_currents({"d": 0.05, "g": 0.04, "s": 0.0})
         assert currents["d"] + currents["s"] == pytest.approx(0.0)
         assert currents["g"] == 0.0
+
+
+class TestVectorizedAnalyticModel:
+    """The array path must replicate the scalar branch structure element-wise."""
+
+    @pytest.mark.parametrize("temperature", [0.0, 0.1, 1.0, 30.0])
+    def test_array_matches_scalar_elementwise(self, temperature):
+        model = AnalyticSETModel(temperature=temperature)
+        drains = np.linspace(-0.08, 0.08, 23)
+        gates = np.linspace(-0.05, 0.21, 17)
+        vectorized = model.drain_current(drains[:, None], gates[None, :])
+        scalar = np.array([[model.drain_current(float(vd), float(vg))
+                            for vg in gates] for vd in drains])
+        scale = np.abs(scalar).max()
+        np.testing.assert_allclose(vectorized, scalar, rtol=1e-12,
+                                   atol=1e-12 * max(scale, 1e-30))
+
+    def test_scalar_inputs_still_return_floats(self):
+        model = AnalyticSETModel(temperature=1.0)
+        result = model.drain_current(0.05, 0.02)
+        assert isinstance(result, float)
+
+    def test_map_shape_and_orientation(self):
+        model = AnalyticSETModel(temperature=1.0)
+        drains = np.linspace(0.01, 0.05, 3)
+        gates = np.linspace(0.0, 0.08, 5)
+        grid = model.drain_current_map(drains, gates)
+        assert grid.shape == (3, 5)
+        assert grid[2, 1] == pytest.approx(
+            model.drain_current(float(drains[2]), float(gates[1])),
+            rel=1e-12, abs=1e-30)
+
+    def test_source_voltage_broadcasts(self):
+        model = AnalyticSETModel(temperature=1.0)
+        drains = np.array([0.02, 0.04])
+        lifted = model.drain_current(drains, 0.01, 0.005)
+        for vd, value in zip(drains, lifted):
+            assert value == pytest.approx(
+                model.drain_current(float(vd), 0.01, 0.005),
+                rel=1e-12, abs=1e-30)
+
+    def test_zero_temperature_absorbing_branch(self):
+        # Deep blockade at T = 0 exercises the infinite-weight branch.
+        model = AnalyticSETModel(temperature=0.0)
+        drains = np.linspace(-0.02, 0.02, 9)
+        vectorized = model.drain_current(drains, 0.0)
+        scalar = np.array([model.drain_current(float(vd), 0.0)
+                           for vd in drains])
+        np.testing.assert_array_equal(vectorized, scalar)
+
+    def test_tunable_model_delegates_arrays(self):
+        model = TunableSETModel(temperature=1.0)
+        drains = np.linspace(0.01, 0.05, 4)
+        gates = np.linspace(0.0, 0.08, 3)
+        grid = model.drain_current_map(drains, gates)
+        assert grid.shape == (4, 3)
+
+
+class TestMasterEquationModelMap:
+    def test_map_matches_unquantised_point_solves(self):
+        model = MasterEquationSETModel(temperature=2.0)
+        drains = np.linspace(0.01, 0.05, 3)
+        gates = np.linspace(0.0, 0.08, 3)
+        grid = model.drain_current_map(drains, gates)
+        assert grid.shape == (3, 3)
+        # The batched sweep skips the scalar path's voltage quantisation, so
+        # compare against exact solves at the raw grid voltages.
+        for row, vd in enumerate(drains):
+            for column, vg in enumerate(gates):
+                reference = model._solve(float(vd), float(vg), 0.0)
+                assert grid[row, column] == pytest.approx(reference, rel=1e-9)
