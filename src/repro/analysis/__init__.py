@@ -22,6 +22,7 @@ from .randomness import (
     monobit_test,
     run_randomness_battery,
     runs_test,
+    serial_correlation_profile,
     serial_correlation_test,
 )
 from .sensitivity import (
@@ -71,6 +72,7 @@ __all__ = [
     "refine_period_by_peaks",
     "run_randomness_battery",
     "runs_test",
+    "serial_correlation_profile",
     "serial_correlation_test",
     "shot_noise_current",
     "simulated_oscillation_visibility",

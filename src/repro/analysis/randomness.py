@@ -73,38 +73,43 @@ def runs_test(bits: Sequence[int]) -> float:
 
 
 def longest_run_of_ones_test(bits: Sequence[int]) -> float:
-    """Longest-run-of-ones-in-a-block test (NIST parameters for 128-bit blocks)."""
+    """Longest-run-of-ones-in-a-block test (NIST parameters for 128-bit blocks).
+
+    The per-block longest runs are extracted for all blocks at once: the
+    blocks are zero-padded on both sides, run boundaries come from one
+    ``diff`` over the whole matrix, and the per-block maximum run length from
+    a single ``maximum.at`` scatter — no Python loop over blocks or bits.
+    """
     array = _as_bits(bits)
     block_size = 128
     blocks = array.size // block_size
     if blocks < 4:
         raise AnalysisError("longest-run test needs at least 512 bits")
-    categories = [4, 5, 6, 7, 8, 9]
+    categories = np.arange(4, 10)
     probabilities = [0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124]
-    counts = np.zeros(len(categories))
-    for index in range(blocks):
-        block = array[index * block_size:(index + 1) * block_size]
-        longest = _longest_run(block)
-        if longest <= categories[0]:
-            counts[0] += 1
-        elif longest >= categories[-1]:
-            counts[-1] += 1
-        else:
-            counts[categories.index(longest)] += 1
+    trimmed = array[:blocks * block_size].reshape(blocks, block_size)
+    longest = _longest_runs(trimmed)
+    # The categories are contiguous, so binning is a clip plus a bincount.
+    clipped = np.clip(longest, categories[0], categories[-1])
+    counts = np.bincount(clipped - categories[0],
+                         minlength=categories.size).astype(float)
     expected = blocks * np.asarray(probabilities)
     chi_squared = float(np.sum((counts - expected) ** 2 / expected))
-    return float(special.gammaincc((len(categories) - 1) / 2.0, chi_squared / 2.0))
+    return float(special.gammaincc((categories.size - 1) / 2.0, chi_squared / 2.0))
 
 
-def _longest_run(block: np.ndarray) -> int:
-    longest = 0
-    current = 0
-    for bit in block:
-        if bit:
-            current += 1
-            longest = max(longest, current)
-        else:
-            current = 0
+def _longest_runs(blocks: np.ndarray) -> np.ndarray:
+    """Longest run of ones in every row of a 0/1 matrix, vectorized."""
+    rows = blocks.shape[0]
+    padded = np.zeros((rows, blocks.shape[1] + 2), dtype=np.int64)
+    padded[:, 1:-1] = blocks
+    changes = np.diff(padded, axis=1)
+    start_rows, start_columns = np.nonzero(changes == 1)
+    end_columns = np.nonzero(changes == -1)[1]
+    # Runs alternate start/end within each row, so the k-th start pairs with
+    # the k-th end in row-major order.
+    longest = np.zeros(rows, dtype=np.int64)
+    np.maximum.at(longest, start_rows, end_columns - start_columns)
     return longest
 
 
@@ -123,8 +128,38 @@ def serial_correlation_test(bits: Sequence[int], lag: int = 1) -> float:
     return float(special.erfc(statistic / math.sqrt(2.0)))
 
 
+def serial_correlation_profile(bits: Sequence[int],
+                               max_lag: int = 16) -> np.ndarray:
+    """Autocorrelation coefficients at lags ``1 .. max_lag``, vectorized.
+
+    Each coefficient matches :func:`serial_correlation_test`'s statistic at
+    that lag exactly (same centring, same normalisation) but the whole
+    profile is computed as ``max_lag`` array dot products over the centred
+    stream — the correlation formulation — instead of a Python loop over
+    every bit.
+    """
+    array = _as_bits(bits).astype(float)
+    if max_lag < 1:
+        raise AnalysisError("max_lag must be at least 1")
+    if array.size <= max_lag + 10:
+        raise AnalysisError("stream too short for the requested maximum lag")
+    centred = array - array.mean()
+    variance = float(np.sum(centred ** 2))
+    if variance == 0.0:
+        return np.zeros(max_lag)
+    return np.array([float(centred[:-lag] @ centred[lag:]) / variance
+                     for lag in range(1, max_lag + 1)])
+
+
 def approximate_entropy_test(bits: Sequence[int], block_length: int = 2) -> float:
-    """Approximate-entropy test (NIST SP 800-22 section 2.12)."""
+    """Approximate-entropy test (NIST SP 800-22 section 2.12).
+
+    The ``m``-bit pattern frequencies are counted without a Python loop over
+    the stream: every overlapping window is encoded as a base-2 integer
+    through a strided sliding-window view and the pattern histogram is one
+    ``bincount`` — the O(n) ``range(n)`` tuple-building loop of the original
+    implementation collapsed to three array operations.
+    """
     array = _as_bits(bits)
     n = array.size
     if n < 100:
@@ -134,15 +169,19 @@ def approximate_entropy_test(bits: Sequence[int], block_length: int = 2) -> floa
         if m == 0:
             return 0.0
         padded = np.concatenate([array, array[:m - 1]]) if m > 1 else array
-        counts: Dict[Tuple[int, ...], int] = {}
-        for start in range(n):
-            pattern = tuple(padded[start:start + m])
-            counts[pattern] = counts.get(pattern, 0) + 1
-        total = 0.0
-        for count in counts.values():
-            probability = count / n
-            total += probability * math.log(probability)
-        return total
+        windows = np.lib.stride_tricks.sliding_window_view(padded, m)
+        weights = 1 << np.arange(m - 1, -1, -1, dtype=np.int64)
+        codes = windows @ weights
+        if (1 << m) <= 4 * n:
+            counts = np.bincount(codes, minlength=1 << m)
+            counts = counts[counts > 0]
+        else:
+            # A 2^m-slot histogram would dwarf the stream itself for large
+            # block lengths; count only the (at most n) occurring patterns,
+            # as the original dictionary implementation did.
+            counts = np.unique(codes, return_counts=True)[1]
+        probabilities = counts / n
+        return float(np.sum(probabilities * np.log(probabilities)))
 
     ap_en = phi(block_length) - phi(block_length + 1)
     chi_squared = 2.0 * n * (math.log(2.0) - ap_en)
@@ -202,5 +241,6 @@ __all__ = [
     "monobit_test",
     "run_randomness_battery",
     "runs_test",
+    "serial_correlation_profile",
     "serial_correlation_test",
 ]

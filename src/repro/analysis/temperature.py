@@ -118,11 +118,36 @@ def simulated_oscillation_visibility(set_model, temperature: float,
     if drain_voltage is None:
         drain_voltage = 0.1 * E_CHARGE / set_model.total_capacitance
     gates = np.linspace(0.0, period, points)
-    currents = np.array([set_model.drain_current(drain_voltage, vg) for vg in gates])
+    currents = _gate_sweep_currents(set_model, drain_voltage, gates)
     high, low = currents.max(), currents.min()
     if high + low <= 0.0:
         return 0.0
     return float((high - low) / (high + low))
+
+
+def _gate_sweep_currents(set_model, drain_voltage: float,
+                         gate_voltages: np.ndarray) -> np.ndarray:
+    """Drain current over a gate sweep, batched whenever the model allows.
+
+    Models that expose ``drain_current_map`` (all the package's SET models
+    do) evaluate the whole sweep in one broadcast call; an array-accepting
+    ``drain_current`` is the next-best path.  Plain scalar-only models fall
+    back to the original per-point loop, so duck-typed third-party models
+    keep working.
+    """
+    current_map = getattr(set_model, "drain_current_map", None)
+    if current_map is not None:
+        return np.asarray(current_map([drain_voltage], gate_voltages),
+                          dtype=float)[0]
+    try:
+        currents = np.asarray(
+            set_model.drain_current(drain_voltage, gate_voltages), dtype=float)
+        if currents.shape == gate_voltages.shape:
+            return currents
+    except (TypeError, ValueError):
+        pass
+    return np.array([set_model.drain_current(drain_voltage, vg)
+                     for vg in gate_voltages], dtype=float)
 
 
 @dataclass(frozen=True)

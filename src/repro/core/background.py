@@ -180,6 +180,55 @@ class RandomTelegraphProcess:
             remaining -= waiting
             self.occupied = not self.occupied
 
+    def sample_occupancy(self, count: int, timestep: float) -> np.ndarray:
+        """Occupancy at ``count`` grid points, generated in one batched shot.
+
+        The replica-free equivalent of calling :meth:`advance` per sample:
+        all transition times are drawn at once (cumulative sums of
+        exponential waits with alternating means), the grid occupancy follows
+        from the flip-count parity at each sample time, and the trap is left
+        in its exact state at the end of the covered interval.  Element ``i``
+        is the state at time ``i * timestep``, with element 0 the current
+        state — the same grid an ``observe, advance(timestep)`` loop
+        produces, at array speed.
+
+        Returns a boolean array of length ``count`` (``True`` = occupied).
+        """
+        if count <= 0:
+            raise ReproError("count must be positive")
+        if timestep <= 0.0:
+            raise ReproError("timestep must be positive")
+        initial = self.occupied
+        horizon = count * timestep
+        # Means alternate starting from the current state; draw blocks of
+        # waits until the accumulated flip time passes the horizon.
+        first_mean = self.emission_time if initial else self.capture_time
+        other_mean = self.capture_time if initial else self.emission_time
+        expected = horizon * self.mean_switching_rate
+        block = max(64, int(expected * 1.5) + 16)
+        flip_times: List[np.ndarray] = []
+        offset = 0.0
+        drawn = 0
+        while True:
+            means = np.where(np.arange(drawn, drawn + block) % 2 == 0,
+                             first_mean, other_mean)
+            waits = self._rng.standard_exponential(block) * means
+            times = offset + np.cumsum(waits)
+            flip_times.append(times)
+            offset = float(times[-1])
+            drawn += block
+            if offset > horizon:
+                break
+        flips = np.concatenate(flip_times)
+        sample_times = np.arange(count) * timestep
+        # advance() flips when the waiting time does not exceed the interval,
+        # so a flip landing exactly on a grid point counts (side="right").
+        counts = np.searchsorted(flips, sample_times, side="right")
+        occupancy = np.logical_xor(initial, counts % 2 == 1)
+        total_flips = int(np.searchsorted(flips, horizon, side="right"))
+        self.occupied = bool(initial ^ (total_flips % 2 == 1))
+        return occupancy
+
     def sample_timeseries(self, duration: float, timestep: float) -> np.ndarray:
         """Charge contribution sampled on a regular grid of spacing ``timestep``.
 
@@ -190,19 +239,8 @@ class RandomTelegraphProcess:
         if duration <= 0.0 or timestep <= 0.0:
             raise ReproError("duration and timestep must be positive")
         steps = int(np.ceil(duration / timestep))
-        values = np.empty(steps)
-        time_to_flip = float(
-            self._rng.exponential(self.emission_time if self.occupied
-                                  else self.capture_time))
-        for index in range(steps):
-            values[index] = self.current_charge()
-            time_to_flip -= timestep
-            while time_to_flip <= 0.0:
-                self.occupied = not self.occupied
-                time_to_flip += float(
-                    self._rng.exponential(self.emission_time if self.occupied
-                                          else self.capture_time))
-        return values
+        occupancy = self.sample_occupancy(steps, timestep)
+        return np.where(occupancy, self.amplitude, 0.0)
 
 
 class TrapEnsemble:

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..constants import E_CHARGE
 from ..errors import AnalysisError
-from .set_transistor import DRAIN_JUNCTION, GATE_SOURCE, SETTransistor
+from .set_transistor import DRAIN_JUNCTION, GATE_SOURCE, ISLAND, SETTransistor
 
 
 @dataclass(frozen=True)
@@ -72,6 +72,36 @@ class SETElectrometer:
         self.drain_voltage = drain_voltage if drain_voltage is not None \
             else 0.5 * transistor.blockade_voltage
         self.temperature = float(temperature)
+        # One circuit and one master-equation solver serve every operating
+        # point: repeated-current calls only move the gate bias / island
+        # offset charge and re-solve, so the transition structure
+        # (state window, index pairs, static energies) is reused across the
+        # whole finite-difference stencil and all profile/optimisation scans
+        # instead of being rebuilt per point.
+        self._circuit = None
+        self._solver = None
+        self._solver_key = None
+
+    def _stationary_current(self, gate_voltage: float, offset: float) -> float:
+        """Master-equation drain current at one (gate bias, probe offset) point."""
+        from ..master.steadystate import MasterEquationSolver
+
+        # The cache is keyed on the public operating attributes so mutating
+        # drain_voltage / temperature between calls rebuilds the solver (as
+        # the old rebuild-per-call implementation implicitly guaranteed).
+        key = (self.drain_voltage, self.temperature)
+        if self._solver is None or self._solver_key != key:
+            self._circuit = self.transistor.build_circuit(
+                drain_voltage=self.drain_voltage, gate_voltage=gate_voltage,
+                background_charge=self.transistor.background_charge + offset)
+            self._solver = MasterEquationSolver(self._circuit,
+                                                temperature=self.temperature)
+            self._solver_key = key
+        else:
+            self._circuit.set_source_voltage(GATE_SOURCE, float(gate_voltage))
+            self._circuit.set_offset_charge(
+                ISLAND, self.transistor.background_charge + offset)
+        return self._solver.current(DRAIN_JUNCTION)
 
     # ------------------------------------------------------------ sensitivity
 
@@ -80,20 +110,14 @@ class SETElectrometer:
         """Charge-to-current transfer at one gate bias.
 
         ``dI/dq0`` is evaluated by a symmetric finite difference of the
-        master-equation current with respect to the island offset charge.
+        master-equation current with respect to the island offset charge; the
+        three stencil points share the cached transition structure.
         """
-        from ..master.steadystate import MasterEquationSolver
-
         if probe_charge <= 0.0:
             raise AnalysisError("probe_charge must be positive")
 
-        currents = []
-        for offset in (-probe_charge, 0.0, +probe_charge):
-            circuit = self.transistor.build_circuit(
-                drain_voltage=self.drain_voltage, gate_voltage=gate_voltage,
-                background_charge=self.transistor.background_charge + offset)
-            solver = MasterEquationSolver(circuit, temperature=self.temperature)
-            currents.append(solver.current(DRAIN_JUNCTION))
+        currents = [self._stationary_current(gate_voltage, offset)
+                    for offset in (-probe_charge, 0.0, +probe_charge)]
         slope = (currents[2] - currents[0]) / (2.0 * probe_charge)
         current = currents[1]
         shot_noise = np.sqrt(2.0 * E_CHARGE * max(abs(current), 1e-30))

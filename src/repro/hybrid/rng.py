@@ -10,6 +10,12 @@ and (optionally) von-Neumann debiasing yields random bits.
 The simulation is quasi-static: the trap flips on microsecond timescales
 while the circuit settles in nanoseconds, so each sample is an independent DC
 solve of the compact SET-MOS circuit with the instantaneous trap charge.
+Because only two operating points exist (trap empty / occupied), a whole bit
+stream is produced in one batched shot: the telegraph process is sampled with
+a single vectorized flip-time draw
+(:meth:`~repro.core.background.RandomTelegraphProcess.sample_occupancy`), the
+two output levels are solved once each, and the trace, thresholding and
+debiasing are pure array operations — no per-sample Python loop remains.
 """
 
 from __future__ import annotations
@@ -136,28 +142,26 @@ class SingleElectronRNG:
         sample_interval = self.samples_per_flip * 0.5 \
             * (self.capture_time + self.emission_time)
         times = np.arange(sample_count) * sample_interval
-        occupancy = np.empty(sample_count, dtype=bool)
-        outputs = np.empty(sample_count)
+        # The whole telegraph trace is generated in one batched shot (all
+        # flip times at once, occupancy from flip-count parity) instead of an
+        # advance-per-sample Python loop.
+        occupancy = trap.sample_occupancy(sample_count, sample_interval)
 
+        # Only two distinct operating points exist (trap empty / occupied):
+        # solve each once, warm-starting the second from the first, and map
+        # the occupancy trace through the two levels in one vectorized shot.
         circuit = self.stack.build_circuit(input_voltage=self.gate_bias,
                                            name="set_rng")
         solver = DCSolver(circuit)
         set_model: TunableSETModel = self.stack.set_model  # type: ignore[assignment]
         previous = None
-        # Only two distinct operating points exist (trap empty / occupied), so
-        # cache them instead of re-solving thousands of times.
-        cache = {}
-        for index in range(sample_count):
-            occupancy[index] = trap.occupied
-            charge = trap.current_charge()
-            if charge not in cache:
-                set_model.background_charge = charge
-                solution = solver.solve(initial_guess=previous)
-                previous = solution.voltages
-                cache[charge] = solution.voltage(OUTPUT_NODE)
-            outputs[index] = cache[charge]
-            # Evolve the trap over one sample interval.
-            trap.advance(sample_interval)
+        levels = {}
+        for charge in (0.0, self.trap_coupling):
+            set_model.background_charge = charge
+            solution = solver.solve(initial_guess=previous)
+            previous = solution.voltages
+            levels[charge] = solution.voltage(OUTPUT_NODE)
+        outputs = np.where(occupancy, levels[self.trap_coupling], levels[0.0])
 
         threshold = 0.5 * float(outputs.min() + outputs.max())
         raw_bits = (outputs > threshold).astype(np.int64)

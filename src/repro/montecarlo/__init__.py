@@ -6,22 +6,31 @@ from .cotunneling import (
     intermediate_energies,
 )
 from .events import CotunnelCandidate, TrapCandidate, TunnelCandidate
-from .kernel import Candidate, KernelStep, MonteCarloKernel
+from .kernel import Candidate, EnsembleStep, KernelStep, MonteCarloKernel
 from .observables import (
     CurrentEstimate,
+    EnsembleResult,
     EventRecord,
     OccupationStatistics,
     TrajectoryResult,
     block_average,
 )
 from .simulator import MonteCarloSimulator
-from .state import SimulationState, initial_state
+from .state import (
+    EnsembleState,
+    SimulationState,
+    initial_ensemble,
+    initial_state,
+)
 
 __all__ = [
     "Candidate",
     "CotunnelCandidate",
     "CotunnelTable",
     "CurrentEstimate",
+    "EnsembleResult",
+    "EnsembleState",
+    "EnsembleStep",
     "EventRecord",
     "KernelStep",
     "MonteCarloKernel",
@@ -33,6 +42,7 @@ __all__ = [
     "TunnelCandidate",
     "block_average",
     "enumerate_cotunnel_candidates",
+    "initial_ensemble",
     "initial_state",
     "intermediate_energies",
 ]

@@ -29,6 +29,17 @@ Two implementations of the hot path coexist:
   scalar implementation, kept verbatim as an independently-derived check; the
   test-suite asserts both paths produce the same rates.
 
+On top of the scalar fast path sits the **ensemble mode**
+(:meth:`MonteCarloKernel.step_ensemble`): ``R`` independent replicas advance
+one event each per macro-step, with waiting times, event selection and state
+updates executed as batched NumPy operations over all replicas.  Replicas in
+the same charge configuration share one memoised :class:`_RateEntry`, so the
+rate-table cost is paid once per *configuration* rather than once per
+replica, and the per-event Python overhead is amortised over the whole
+ensemble.  A single-replica ensemble consumes the block random buffers in
+exactly the scalar order, so ``R = 1`` reproduces the scalar fast path
+event for event — the correctness anchor the test-suite enforces.
+
 The kernel is deliberately separated from the user-facing
 :class:`~repro.montecarlo.simulator.MonteCarloSimulator` so the same stepping
 machinery can be reused by specialised drivers (e.g. the RNG bit sampler).
@@ -52,9 +63,13 @@ from ..core.rates import (
 from ..errors import SimulationError
 from .cotunneling import CotunnelTable, enumerate_cotunnel_candidates
 from .events import CotunnelCandidate, TrapCandidate, TunnelCandidate
-from .state import SimulationState
+from .state import EnsembleState, SimulationState
 
 Candidate = Union[TunnelCandidate, CotunnelCandidate, TrapCandidate]
+
+#: Stand-in state for trapless ensemble rate evaluations (the rate helpers
+#: only consult ``state.trap_occupancy``, which is empty here by design).
+_TRAPLESS = SimulationState(time=0.0, electrons=np.empty(0, dtype=np.int64))
 
 
 @dataclass(slots=True)
@@ -64,6 +79,127 @@ class KernelStep:
     waiting_time: float
     candidate: Candidate
     total_rate: float
+
+
+@dataclass(slots=True)
+class EnsembleStep:
+    """Outcome of one batched macro-step over all replicas.
+
+    Attributes
+    ----------
+    waiting_times:
+        ``(R,)`` waiting time each replica advanced by an executed event this
+        macro-step (0 for replicas that were inactive, blockaded, or whose
+        drawn waiting time exceeded the budget).
+    event_indices:
+        ``(R,)`` flat event index executed per replica (the kernel's
+        tunnel-then-cotunnel order), ``-1`` when no event was applied.
+    total_rates:
+        ``(R,)`` total escape rate of each replica's configuration before
+        the step.
+    advanced:
+        Number of replicas that executed an event.
+    """
+
+    waiting_times: np.ndarray
+    event_indices: np.ndarray
+    total_rates: np.ndarray
+    advanced: int
+
+
+class _EnsembleCursor:
+    """Per-ensemble bookkeeping linking replicas to memoised rate entries.
+
+    ``slots[r]`` is the index of replica ``r``'s configuration in
+    ``entries``; ``slot_of`` maps ``id(entry)`` back to a slot so successor
+    configurations discovered during stepping are registered once.  The
+    per-slot data (total rates, cumulative tables, last-selectable indices,
+    successor slots) is mirrored into dense arrays so a macro-step needs no
+    Python loop over replicas or configurations: event selection is one
+    broadcast comparison against the gathered cumulative rows and successor
+    lookup one 2-D gather, with a slow-path resolution only the first time a
+    (configuration, event) transition is taken.  The cursor is valid for one
+    kernel cache epoch; a bias/offset change invalidates it wholesale
+    (detected through ``epoch``).
+    """
+
+    __slots__ = ("epoch", "slots", "entries", "slot_of", "n_events",
+                 "n_islands", "totals", "cumulative", "last_selectable",
+                 "successor_slots", "configurations", "_dirty")
+
+    def __init__(self, epoch: int, slots: np.ndarray,
+                 entries: List["_RateEntry"], n_events: int,
+                 n_islands: int) -> None:
+        self.epoch = epoch
+        self.slots = slots
+        self.entries: List["_RateEntry"] = []
+        self.slot_of: dict = {}
+        self.n_events = n_events
+        self.n_islands = n_islands
+        self.totals = np.empty(0)
+        self.cumulative = np.empty((0, n_events))
+        self.last_selectable = np.empty(0, dtype=np.int64)
+        #: ``successor_slots[s, k]`` is the slot reached from slot ``s`` via
+        #: event ``k``, or ``-1`` when that transition has not been taken yet.
+        self.successor_slots = np.empty((0, n_events), dtype=np.int64)
+        #: ``configurations[s]`` is slot ``s``'s canonical electron vector,
+        #: used to detect external mutation of ``ensemble.electrons``.
+        self.configurations = np.empty((0, n_islands), dtype=np.int64)
+        self._dirty = False
+        for entry in entries:
+            self.register(entry)
+        self.refresh()
+
+    def matches(self, electrons: np.ndarray) -> bool:
+        """Whether the slot mapping still describes ``electrons``.
+
+        Guards against callers editing ``EnsembleState.electrons`` directly
+        between runs (a documented public attribute): a mismatch forces a
+        full re-key instead of silently stepping replicas with the rate
+        tables of their old configurations.
+        """
+        return bool(np.array_equal(self.configurations[self.slots], electrons))
+
+    def register(self, entry: "_RateEntry") -> int:
+        """Slot of ``entry``, assigning a new one on first sight."""
+        slot = self.slot_of.get(id(entry))
+        if slot is None:
+            slot = len(self.entries)
+            self.entries.append(entry)
+            self.slot_of[id(entry)] = slot
+            self._dirty = True
+        return slot
+
+    def refresh(self) -> None:
+        """Rebuild the dense per-slot mirrors after new slots were added."""
+        if not self._dirty:
+            return
+        known = self.totals.size
+        count = len(self.entries)
+        totals = np.empty(count)
+        # Pad with +inf so a padded column can never be counted by the
+        # threshold comparison (rows always fill the row when trapless).
+        cumulative = np.full((count, self.n_events), np.inf)
+        last = np.empty(count, dtype=np.int64)
+        successors = np.full((count, self.n_events), -1, dtype=np.int64)
+        configurations = np.empty((count, self.n_islands), dtype=np.int64)
+        totals[:known] = self.totals
+        cumulative[:known] = self.cumulative
+        last[:known] = self.last_selectable
+        successors[:known] = self.successor_slots
+        configurations[:known] = self.configurations
+        for slot in range(known, count):
+            entry = self.entries[slot]
+            totals[slot] = entry.total
+            cumulative[slot, :entry.cumulative.size] = entry.cumulative
+            last[slot] = entry.last_selectable
+            configurations[slot] = entry.electrons
+        self.totals = totals
+        self.cumulative = cumulative
+        self.last_selectable = last
+        self.successor_slots = successors
+        self.configurations = configurations
+        self._dirty = False
 
 
 class _RateEntry:
@@ -167,6 +303,25 @@ class MonteCarloKernel:
                                       for c in range(self._n_cot)]
         self._event_transfers = [candidate.charge_transfers()
                                  for candidate in self._event_candidates]
+        # Dense per-event matrices for the ensemble path: row k of
+        # ``_delta_n_matrix`` updates all islands of event k at once, row k of
+        # ``_transfer_matrix`` its per-junction electron-transfer tally (the
+        # circuit's junction order, matching EnsembleState.junction_names).
+        n_islands = self.model.island_count
+        self._junction_order = {junction.name: column for column, junction
+                                in enumerate(circuit.junctions())}
+        if self._n_events:
+            self._delta_n_matrix = np.vstack(
+                [np.asarray(delta, dtype=np.int64)
+                 for delta in self._event_delta_n])
+        else:
+            self._delta_n_matrix = np.zeros((0, n_islands), dtype=np.int64)
+        self._transfer_matrix = np.zeros(
+            (self._n_events, len(self._junction_order)), dtype=float)
+        for index, transfers in enumerate(self._event_transfers):
+            for name, direction in transfers:
+                self._transfer_matrix[index, self._junction_order[name]] \
+                    += direction
 
         # ------------------------------------------- preallocated buffers
         self._rates = np.zeros(self._n_events + self._n_traps, dtype=float)
@@ -183,6 +338,9 @@ class MonteCarloKernel:
         #: Memoised :class:`_RateEntry` per (configuration, trap occupation).
         self._rate_cache: dict = {}
         self._rate_cache_limit = 65536
+        # Bumped on every cache clear so ensemble cursors (which hold direct
+        # entry references) can detect staleness in O(1).
+        self._cache_epoch = 0
         # Block-drawn randoms (consumed left to right, refilled on demand).
         self._exp_buffer = np.empty(0)
         self._exp_position = 0
@@ -191,6 +349,11 @@ class MonteCarloKernel:
         self._random_block = 4096
 
     # ---------------------------------------------------------------- caches
+
+    def _clear_rate_cache(self) -> None:
+        """Drop all memoised rate entries and invalidate ensemble cursors."""
+        self._rate_cache.clear()
+        self._cache_epoch += 1
 
     def invalidate_caches(self) -> None:
         """Drop all cached bias/offset/rate-table data (full refresh next step)."""
@@ -201,14 +364,14 @@ class MonteCarloKernel:
         self._trap_snapshot = None
         self._trap_bits = 0
         self._entries_since_resync = 0
-        self._rate_cache.clear()
+        self._clear_rate_cache()
 
     def _refresh_bias(self) -> None:
         version = self.circuit.bias_version
         if self._voltages is None or version != self._bias_version:
             self._voltages = self.model.system.cached_source_voltages()
             self._bias_version = version
-            self._rate_cache.clear()
+            self._clear_rate_cache()
 
     def _refresh_offsets(self, state: SimulationState) -> None:
         version = self.circuit.charge_version
@@ -220,7 +383,7 @@ class MonteCarloKernel:
                 # Static offsets changed: every memoised table is stale.  A
                 # trap flip alone keeps the cache (configurations are keyed by
                 # trap occupation as well).
-                self._rate_cache.clear()
+                self._clear_rate_cache()
             offsets = np.array(self.model.system.cached_offset_charges())
             if self._n_traps:
                 island_index = self.model.island_index
@@ -253,6 +416,41 @@ class MonteCarloKernel:
             position = 0
         self._uniform_position = position + 1
         return float(self._uniform_buffer[position])
+
+    def _drain_buffer(self, sampler, buffer_name: str, position_name: str,
+                      count: int) -> np.ndarray:
+        """``count`` variates from a block buffer, refilling with ``sampler``.
+
+        Consumes the same stream as the scalar one-at-a-time accessors in
+        the same order (including the block refill pattern for ``count`` up
+        to the block size), which is what makes a single-replica ensemble
+        replay the scalar fast path exactly.
+        """
+        out = np.empty(count)
+        filled = 0
+        buffer = getattr(self, buffer_name)
+        position = getattr(self, position_name)
+        while filled < count:
+            if position >= buffer.size:
+                buffer = sampler(max(self._random_block, count - filled))
+                setattr(self, buffer_name, buffer)
+                position = 0
+            take = min(buffer.size - position, count - filled)
+            out[filled:filled + take] = buffer[position:position + take]
+            position += take
+            filled += take
+        setattr(self, position_name, position)
+        return out
+
+    def _draw_exponentials(self, count: int) -> np.ndarray:
+        """``count`` standard-exponential variates from the block buffer."""
+        return self._drain_buffer(self.rng.standard_exponential,
+                                  "_exp_buffer", "_exp_position", count)
+
+    def _draw_uniforms(self, count: int) -> np.ndarray:
+        """``count`` standard-uniform variates from the block buffer."""
+        return self._drain_buffer(self.rng.random,
+                                  "_uniform_buffer", "_uniform_position", count)
 
     # ------------------------------------------------------------------ rates
 
@@ -334,7 +532,7 @@ class MonteCarloKernel:
 
     def _store_entry(self, key, entry: "_RateEntry") -> None:
         if len(self._rate_cache) >= self._rate_cache_limit:
-            self._rate_cache.clear()
+            self._clear_rate_cache()
         self._rate_cache[key] = entry
 
     def _build_entry(self, key, electrons: np.ndarray,
@@ -521,6 +719,211 @@ class MonteCarloKernel:
         return KernelStep(waiting_time=waiting, candidate=chosen,
                           total_rate=total_rate)
 
+    # ------------------------------------------------------------- ensembles
+
+    def _ensure_cursor(self, ensemble: EnsembleState) -> _EnsembleCursor:
+        """Resolve (or revalidate) the slot/entry mapping of an ensemble.
+
+        Replicas are grouped by configuration first, so each distinct
+        configuration is keyed into the memo exactly once no matter how many
+        replicas currently occupy it.
+        """
+        cursor = ensemble.cursor
+        if isinstance(cursor, _EnsembleCursor) and \
+                cursor.epoch == self._cache_epoch and \
+                cursor.matches(ensemble.electrons):
+            return cursor
+        electrons = np.ascontiguousarray(ensemble.electrons, dtype=np.int64)
+        ensemble.electrons = electrons
+        unique, inverse = np.unique(electrons, axis=0, return_inverse=True)
+        entries: List[_RateEntry] = []
+        for row in unique:
+            row = np.ascontiguousarray(row)
+            key = self._entry_key(row)
+            entry = self._rate_cache.get(key)
+            if entry is None:
+                entry = self._build_entry(key, row.copy(), None, _TRAPLESS)
+            entries.append(entry)
+        cursor = _EnsembleCursor(self._cache_epoch,
+                                 inverse.reshape(-1).astype(np.int64), entries,
+                                 self._n_events, self.model.island_count)
+        ensemble.cursor = cursor
+        return cursor
+
+    def step_ensemble(self, ensemble: EnsembleState,
+                      max_waiting_time=None,
+                      active: Optional[np.ndarray] = None) -> EnsembleStep:
+        """Advance every (active) replica by at most one event, batched.
+
+        Per macro-step each replica's memoised rate table is gathered through
+        the cursor's slot mapping (replicas in the same configuration share
+        one :class:`_RateEntry`), then exponential waiting times, event
+        selection (grouped ``searchsorted`` per distinct configuration) and
+        all state updates run as array operations over the whole ensemble.
+
+        Parameters
+        ----------
+        ensemble:
+            The batched replica state, advanced in place.
+        max_waiting_time:
+            Optional per-macro-step time budget — a scalar applied to every
+            replica or a ``(R,)`` array of per-replica budgets.  Replicas
+            whose drawn waiting time exceeds their budget only advance their
+            clock by the budget (no event is applied), exactly like the
+            scalar path.
+        active:
+            Optional ``(R,)`` boolean mask; inactive replicas are left
+            untouched (no clock advance, no random draws).
+
+        Returns the per-replica :class:`EnsembleStep` outcome.
+        """
+        if not self.fast_path:
+            raise SimulationError(
+                "ensemble stepping requires the vectorized kernel "
+                "(fast_path=True)")
+        if self._n_traps:
+            raise SimulationError(
+                "ensemble stepping does not support charge traps; use the "
+                "scalar step() path for telegraph-noise simulations")
+
+        circuit = self.circuit
+        if self._voltages is None or circuit.bias_version != self._bias_version:
+            self._refresh_bias()
+        if self._offsets is None or \
+                circuit.charge_version != self._offsets_version:
+            self._refresh_offsets(_TRAPLESS)
+        cursor = self._ensure_cursor(ensemble)
+
+        replicas = ensemble.replica_count
+        slots = cursor.slots
+        totals = cursor.totals[slots]
+
+        budgets: Optional[np.ndarray] = None
+        if max_waiting_time is not None:
+            budgets = np.broadcast_to(
+                np.asarray(max_waiting_time, dtype=float), (replicas,))
+
+        if active is None:
+            unblocked = None          # the common case: everyone can move
+            positive = totals > 0.0
+            if not positive.all():
+                unblocked = np.nonzero(positive)[0]
+                blocked = np.nonzero(~positive)[0]
+                # Blockaded replicas burn their whole time budget, as in the
+                # scalar path (no randoms are consumed for them).
+                if budgets is not None:
+                    ensemble.times[blocked] += budgets[blocked]
+        else:
+            active_indices = np.nonzero(np.asarray(active, dtype=bool))[0]
+            active_positive = totals[active_indices] > 0.0
+            unblocked = active_indices[active_positive]
+            blocked = active_indices[~active_positive]
+            if blocked.size and budgets is not None:
+                ensemble.times[blocked] += budgets[blocked]
+
+        waiting_times = np.zeros(replicas)
+        event_indices = np.full(replicas, -1, dtype=np.int64)
+        advanced = 0
+        count = replicas if unblocked is None else int(unblocked.size)
+        if count:
+            exps = self._draw_exponentials(count)
+            if unblocked is None:
+                waits = exps / totals
+            else:
+                waits = exps / totals[unblocked]
+            proceed: Optional[np.ndarray]
+            if budgets is None:
+                proceed = unblocked
+                proceed_waits = waits
+            else:
+                unblocked_budgets = budgets if unblocked is None \
+                    else budgets[unblocked]
+                over = waits > unblocked_budgets
+                if over.any():
+                    censored = np.nonzero(over)[0] if unblocked is None \
+                        else unblocked[over]
+                    ensemble.times[censored] += unblocked_budgets[over]
+                    proceed = np.nonzero(~over)[0] if unblocked is None \
+                        else unblocked[~over]
+                    proceed_waits = waits[~over]
+                else:
+                    proceed = unblocked
+                    proceed_waits = waits
+            proceed_count = replicas if proceed is None else int(proceed.size)
+            if proceed_count:
+                uniforms = self._draw_uniforms(proceed_count)
+                if proceed is None:
+                    proceed_slots = slots
+                    thresholds = uniforms * totals
+                else:
+                    proceed_slots = slots[proceed]
+                    thresholds = uniforms * totals[proceed]
+                # Event selection: one broadcast comparison against the
+                # gathered cumulative rows — ``count(cum <= threshold)`` is
+                # exactly ``searchsorted(cum, threshold, side="right")`` —
+                # clamped to the last positive-rate event as in the scalar
+                # path.
+                rows = cursor.cumulative[proceed_slots]
+                chosen = np.sum(rows <= thresholds[:, None], axis=1)
+                np.minimum(chosen, cursor.last_selectable[proceed_slots],
+                           out=chosen)
+
+                successor = cursor.successor_slots[proceed_slots, chosen]
+                missing = successor < 0
+                if missing.any():
+                    self._link_successors(cursor, proceed_slots, chosen,
+                                          successor, missing)
+                if proceed is None:
+                    cursor.slots = successor
+                    ensemble.electrons += self._delta_n_matrix[chosen]
+                    ensemble.electron_transfers += self._transfer_matrix[chosen]
+                    ensemble.times += proceed_waits
+                    ensemble.event_counts += 1
+                    waiting_times = proceed_waits
+                    event_indices = chosen
+                else:
+                    cursor.slots[proceed] = successor
+                    ensemble.electrons[proceed] += self._delta_n_matrix[chosen]
+                    ensemble.electron_transfers[proceed] += \
+                        self._transfer_matrix[chosen]
+                    ensemble.times[proceed] += proceed_waits
+                    ensemble.event_counts[proceed] += 1
+                    waiting_times[proceed] = proceed_waits
+                    event_indices[proceed] = chosen
+                advanced = proceed_count
+
+        return EnsembleStep(waiting_times=waiting_times,
+                            event_indices=event_indices,
+                            total_rates=totals, advanced=advanced)
+
+    def _link_successors(self, cursor: _EnsembleCursor, slots: np.ndarray,
+                         chosen: np.ndarray, successor: np.ndarray,
+                         missing: np.ndarray) -> None:
+        """Resolve not-yet-linked (configuration, event) transitions.
+
+        Each distinct missing pair is resolved once through the memoised
+        entry graph (:meth:`_descend`), registered as a cursor slot and
+        written into the dense successor matrix; ``successor`` is patched in
+        place.  After the first few macro-steps of a stationary run every
+        transition is linked and this slow path is never entered.
+        """
+        pairs = slots[missing] * self._n_events + chosen[missing]
+        unique_pairs, inverse = np.unique(pairs, return_inverse=True)
+        resolved = np.empty(unique_pairs.size, dtype=np.int64)
+        for position, pair in enumerate(unique_pairs):
+            slot, event = divmod(int(pair), self._n_events)
+            parent = cursor.entries[slot]
+            child = parent.successors[event]
+            if child is None:
+                child = self._descend(parent, event, _TRAPLESS)
+                parent.successors[event] = child
+            resolved[position] = cursor.register(child)
+        cursor.refresh()
+        for position, pair in enumerate(unique_pairs):
+            slot, event = divmod(int(pair), self._n_events)
+            cursor.successor_slots[slot, event] = resolved[position]
+        successor[missing] = resolved[inverse.reshape(-1)]
+
     def _step_reference(self, state: SimulationState,
                         max_waiting_time: Optional[float] = None
                         ) -> Optional[KernelStep]:
@@ -549,4 +952,4 @@ class MonteCarloKernel:
                           total_rate=total_rate)
 
 
-__all__ = ["MonteCarloKernel", "KernelStep", "Candidate"]
+__all__ = ["Candidate", "EnsembleStep", "KernelStep", "MonteCarloKernel"]

@@ -9,6 +9,7 @@ import numpy as np
 
 from ..constants import E_CHARGE
 from ..errors import AnalysisError
+from .state import resolve_junction_column
 
 
 @dataclass(frozen=True)
@@ -134,6 +135,88 @@ def block_average(values: Sequence[float], weights: Sequence[float],
 
 
 @dataclass
+class EnsembleResult:
+    """Batched record of an ensemble Monte-Carlo run (one row per replica).
+
+    Attributes
+    ----------
+    durations:
+        ``(R,)`` simulated time each replica advanced during the run.
+    event_counts:
+        ``(R,)`` events executed per replica.
+    electron_transfers:
+        ``(R, junctions)`` net signed electron counts through each junction
+        during the run, columns ordered as :attr:`junction_names`.
+    junction_names:
+        Junction order of the transfer columns.
+    final_electrons:
+        ``(R, islands)`` electron configurations at the end of the run.
+    """
+
+    durations: np.ndarray
+    event_counts: np.ndarray
+    electron_transfers: np.ndarray
+    junction_names: Tuple[str, ...]
+    final_electrons: np.ndarray
+
+    @property
+    def replica_count(self) -> int:
+        """Number of replicas ``R``."""
+        return int(self.durations.size)
+
+    @property
+    def total_events(self) -> int:
+        """Events executed across all replicas."""
+        return int(self.event_counts.sum())
+
+    def _column(self, junction_name: str) -> int:
+        return resolve_junction_column(self.junction_names, junction_name,
+                                       exception=AnalysisError)
+
+    def transferred_charges(self, junction_name: str) -> np.ndarray:
+        """``(R,)`` conventional charge (C) each replica moved through a junction."""
+        return -self.electron_transfers[:, self._column(junction_name)] \
+            * E_CHARGE
+
+    def replica_currents(self, junction_name: str) -> np.ndarray:
+        """``(R,)`` mean conventional current of each replica, in ampere.
+
+        Replicas with zero duration (e.g. fully blockaded at T = 0) report a
+        zero current rather than a division error.
+        """
+        charges = self.transferred_charges(junction_name)
+        currents = np.zeros(self.replica_count)
+        usable = self.durations > 0.0
+        currents[usable] = charges[usable] / self.durations[usable]
+        return currents
+
+    def current_estimate(self, junction_name: str) -> "CurrentEstimate":
+        """Replica-spread current estimate through one junction.
+
+        The replicas are independent trajectories, so the weighted spread of
+        their per-replica currents gives an unbiased standard error without
+        the block-length tuning the single-trajectory
+        :func:`block_average` estimator needs; the math (duration-weighted
+        mean and spread) is shared with it, with replicas playing the role
+        of blocks.
+        """
+        charges = self.transferred_charges(junction_name)
+        usable = self.durations > 0.0
+        if not usable.any():
+            return CurrentEstimate(mean=0.0, stderr=0.0, blocks=0,
+                                   duration=0.0, events=self.total_events)
+        mean, stderr, replicas = block_average(charges[usable],
+                                               self.durations[usable])
+        return CurrentEstimate(
+            mean=mean,
+            stderr=stderr,
+            blocks=replicas,
+            duration=float(self.durations[usable].sum()),
+            events=self.total_events,
+        )
+
+
+@dataclass
 class OccupationStatistics:
     """Histogram of visited electron configurations weighted by dwell time."""
 
@@ -162,6 +245,7 @@ class OccupationStatistics:
 
 __all__ = [
     "CurrentEstimate",
+    "EnsembleResult",
     "EventRecord",
     "OccupationStatistics",
     "TrajectoryResult",

@@ -3,6 +3,10 @@
 import numpy as np
 import pytest
 
+import math
+
+from scipy import special
+
 from repro.analysis import (
     approximate_entropy_test,
     block_frequency_test,
@@ -10,6 +14,7 @@ from repro.analysis import (
     monobit_test,
     run_randomness_battery,
     runs_test,
+    serial_correlation_profile,
     serial_correlation_test,
 )
 from repro.errors import AnalysisError
@@ -96,3 +101,80 @@ class TestBattery:
             report = run_randomness_battery(rng.integers(0, 2, size=5_000))
             failures += 0 if report.all_passed else 1
         assert failures <= 3
+
+
+@pytest.fixture(scope="module")
+def pinned_bits():
+    """The fixed stream whose p-values below were recorded from the original
+    (pre-vectorization) loop implementations."""
+    return (np.random.default_rng(20260729).random(4096) < 0.5).astype(np.int64)
+
+
+class TestVectorizationRegression:
+    """The vectorized tests must pin the old per-bit-loop values."""
+
+    def test_approximate_entropy_pins_old_values(self, pinned_bits):
+        assert approximate_entropy_test(pinned_bits, block_length=2) \
+            == pytest.approx(0.8802398353701671, rel=1e-9)
+        assert approximate_entropy_test(pinned_bits, block_length=3) \
+            == pytest.approx(0.923165641911398, rel=1e-9)
+
+    def test_longest_run_pins_old_value(self, pinned_bits):
+        assert longest_run_of_ones_test(pinned_bits) \
+            == pytest.approx(0.9680867020307266, rel=1e-12)
+
+    def test_approximate_entropy_matches_pattern_loop(self, pinned_bits):
+        # Independent reference: the original tuple-dictionary counting.
+        array = pinned_bits[:512]
+        n = array.size
+
+        def reference_phi(m):
+            padded = np.concatenate([array, array[:m - 1]]) if m > 1 else array
+            counts = {}
+            for start in range(n):
+                pattern = tuple(padded[start:start + m])
+                counts[pattern] = counts.get(pattern, 0) + 1
+            return sum((c / n) * math.log(c / n) for c in counts.values())
+
+        expected = math.exp(reference_phi(2) - reference_phi(3))
+        # Recover phi difference from the reported p-value path instead of
+        # reaching into private helpers: rerun both implementations fully.
+        chi_reference = 2.0 * n * (math.log(2.0)
+                                   - (reference_phi(2) - reference_phi(3)))
+        p_reference = float(special.gammaincc(2.0, chi_reference / 2.0))
+        assert approximate_entropy_test(array, block_length=2) \
+            == pytest.approx(p_reference, rel=1e-9)
+        assert expected > 0.0
+
+    def test_longest_run_matches_scalar_scan(self, pinned_bits):
+        def scalar_longest(block):
+            longest = current = 0
+            for bit in block:
+                current = current + 1 if bit else 0
+                longest = max(longest, current)
+            return longest
+
+        from repro.analysis.randomness import _longest_runs
+        blocks = pinned_bits[:1024].reshape(8, 128)
+        vectorized = _longest_runs(blocks)
+        for row in range(8):
+            assert vectorized[row] == scalar_longest(blocks[row])
+
+    def test_profile_matches_single_lag_test(self, pinned_bits):
+        profile = serial_correlation_profile(pinned_bits, max_lag=5)
+        n = pinned_bits.size
+        for lag in range(1, 6):
+            p_from_profile = float(special.erfc(
+                abs(profile[lag - 1]) * math.sqrt(n) / math.sqrt(2.0)))
+            assert p_from_profile == pytest.approx(
+                serial_correlation_test(pinned_bits, lag), rel=1e-12)
+
+    def test_profile_argument_validation(self, pinned_bits):
+        with pytest.raises(AnalysisError):
+            serial_correlation_profile(pinned_bits, max_lag=0)
+        with pytest.raises(AnalysisError):
+            serial_correlation_profile(pinned_bits[:12], max_lag=8)
+
+    def test_constant_stream_has_zero_profile(self):
+        assert np.all(serial_correlation_profile(np.ones(100, dtype=np.int64),
+                                                 max_lag=3) == 0.0)

@@ -99,3 +99,32 @@ class TestVisibility:
     def test_invalid_temperature(self):
         with pytest.raises(AnalysisError):
             oscillation_visibility(1e-18, -1.0)
+
+    def test_batched_sweep_matches_scalar_loop(self):
+        # The batched drain_current_map path must reproduce the original
+        # per-point Python loop exactly.
+        model = AnalyticSETModel(temperature=5.0)
+        drain = 0.1 * 1.602176634e-19 / model.total_capacitance
+        gates = np.linspace(0.0, model.gate_period, 41)
+        scalar = np.array([model.drain_current(drain, vg) for vg in gates])
+        from repro.analysis.temperature import _gate_sweep_currents
+        batched = _gate_sweep_currents(model, drain, gates)
+        assert np.allclose(batched, scalar, rtol=1e-12, atol=0.0)
+
+    def test_scalar_only_models_still_work(self):
+        # Duck-typed models without drain_current_map or array support fall
+        # back to the per-point loop.
+        reference = AnalyticSETModel(temperature=5.0)
+
+        class ScalarOnly:
+            gate_period = reference.gate_period
+            total_capacitance = reference.total_capacitance
+
+            def drain_current(self, vd, vg, source_voltage=0.0):
+                if not np.isscalar(vg):
+                    raise TypeError("scalar only")
+                return reference.drain_current(vd, vg, source_voltage)
+
+        full = simulated_oscillation_visibility(reference, 5.0)
+        ducked = simulated_oscillation_visibility(ScalarOnly(), 5.0)
+        assert ducked == pytest.approx(full, rel=1e-12)

@@ -125,6 +125,48 @@ class TestRandomTelegraphProcess:
         with pytest.raises(ReproError):
             RandomTelegraphProcess(1e-6, 1e-6).advance(-1.0)
 
+    def test_batched_occupancy_matches_statistics(self):
+        trap = RandomTelegraphProcess(1e-6, 3e-6, seed=5)
+        occupancy = trap.sample_occupancy(20_000, timestep=1e-7)
+        assert occupancy.dtype == bool
+        assert occupancy.size == 20_000
+        assert occupancy.mean() == pytest.approx(trap.occupancy_probability,
+                                                 abs=0.05)
+
+    def test_batched_occupancy_starts_from_current_state(self):
+        trap = RandomTelegraphProcess(1e-6, 1e-6, seed=3, occupied=True)
+        occupancy = trap.sample_occupancy(64, timestep=1e-9)
+        # Sampling far faster than the switching time: the first samples must
+        # still be in the initial state.
+        assert occupancy[0]
+
+    def test_batched_occupancy_is_reproducible_and_advances_state(self):
+        first = RandomTelegraphProcess(1e-6, 2e-6, seed=9)
+        second = RandomTelegraphProcess(1e-6, 2e-6, seed=9)
+        trace_a = first.sample_occupancy(500, timestep=5e-7)
+        trace_b = second.sample_occupancy(500, timestep=5e-7)
+        assert np.array_equal(trace_a, trace_b)
+        assert first.occupied == second.occupied
+        # The final state continues the trajectory: a long trace must have
+        # flipped the trap away from its initial state at least once.
+        assert trace_a.any() and not trace_a.all()
+
+    def test_batched_occupancy_switching_rate(self):
+        trap = RandomTelegraphProcess(1e-6, 1e-6, seed=21)
+        timestep = 2e-8  # much finer than the 1 us switching times
+        occupancy = trap.sample_occupancy(200_000, timestep=timestep)
+        flips = int(np.sum(occupancy[1:] != occupancy[:-1]))
+        duration = occupancy.size * timestep
+        assert flips / duration == pytest.approx(trap.mean_switching_rate,
+                                                 rel=0.15)
+
+    def test_batched_occupancy_invalid_arguments(self):
+        trap = RandomTelegraphProcess(1e-6, 1e-6)
+        with pytest.raises(ReproError):
+            trap.sample_occupancy(0, 1e-7)
+        with pytest.raises(ReproError):
+            trap.sample_occupancy(10, 0.0)
+
 
 class TestTrapEnsemble:
     def test_ensemble_size(self):

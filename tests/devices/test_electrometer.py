@@ -68,3 +68,48 @@ class TestDefaults:
         electrometer = SETElectrometer(transistor)
         assert electrometer.drain_voltage == pytest.approx(
             0.5 * transistor.blockade_voltage)
+
+
+class TestSolverReuse:
+    def test_repeated_calls_match_fresh_instances(self, electrometer):
+        # The shared structure-reusing solver must give the same numbers a
+        # fresh electrometer (fresh circuit, fresh solver) produces, in any
+        # call order.
+        period = electrometer.transistor.gate_period
+        warmed_up = [electrometer.charge_sensitivity(v)
+                     for v in (0.15 * period, 0.35 * period, 0.15 * period)]
+        fresh = SETElectrometer(electrometer.transistor, temperature=0.3)
+        reference = fresh.charge_sensitivity(0.15 * period)
+        assert warmed_up[0].current == pytest.approx(reference.current,
+                                                     rel=1e-9)
+        assert warmed_up[2].transconductance_per_charge == pytest.approx(
+            warmed_up[0].transconductance_per_charge, rel=1e-9)
+
+    def test_drain_voltage_mutation_rebuilds_the_solver(self):
+        transistor = SETTransistor(junction_capacitance=1e-18,
+                                   gate_capacitance=2e-18,
+                                   junction_resistance=1e6)
+        warmed = SETElectrometer(transistor, temperature=0.3)
+        gate = 0.35 * transistor.gate_period
+        warmed.charge_sensitivity(gate)
+        warmed.drain_voltage = 0.25 * transistor.blockade_voltage
+        fresh = SETElectrometer(transistor,
+                                drain_voltage=warmed.drain_voltage,
+                                temperature=0.3)
+        assert warmed.charge_sensitivity(gate).current == pytest.approx(
+            fresh.charge_sensitivity(gate).current, rel=1e-9)
+
+    def test_background_charge_is_respected(self):
+        base = SETTransistor(junction_capacitance=1e-18,
+                             gate_capacitance=2e-18,
+                             junction_resistance=1e6)
+        shifted = SETTransistor(junction_capacitance=1e-18,
+                                gate_capacitance=2e-18,
+                                junction_resistance=1e6,
+                                background_charge=0.25 * E_CHARGE)
+        gate = 0.2 * base.gate_period
+        current_base = SETElectrometer(base, temperature=0.3) \
+            .charge_sensitivity(gate).current
+        current_shifted = SETElectrometer(shifted, temperature=0.3) \
+            .charge_sensitivity(gate).current
+        assert current_base != pytest.approx(current_shifted, rel=1e-3)
