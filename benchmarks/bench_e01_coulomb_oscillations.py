@@ -3,65 +3,41 @@
 Paper claim (§2/§3): the SET's Id-Vg characteristic is periodic with period
 ``e/Cg``; a random background charge changes the *phase* of the
 characteristic, but "period and amplitude do not" change.
+
+The workload is the registered ``coulomb_oscillations`` scenario; this file
+only asserts the claim on its metrics.
 """
 
-import numpy as np
 import pytest
 
-from repro.analysis import analyze_oscillations, phase_shift_between
-from repro.constants import E_CHARGE
-from repro.io import print_table
+from repro.scenarios import run_scenario
 
-from .conftest import print_experiment_header, standard_transistor
+from .conftest import print_experiment_header
 
-TEMPERATURE = 1.0
-DRAIN_VOLTAGE = 2e-3
 OFFSETS_IN_E = (0.0, 0.13, 0.25, 0.5)
 
 
 def run_experiment():
-    device = standard_transistor()
-    gates = np.linspace(0.0, 3.0 * device.gate_period, 120, endpoint=False)
-    sweeps = {}
-    for fraction in OFFSETS_IN_E:
-        _, currents = device.id_vg(gates, DRAIN_VOLTAGE, TEMPERATURE,
-                                   background_charge=fraction * E_CHARGE)
-        sweeps[fraction] = currents
-    return device, gates, sweeps
+    return run_scenario("coulomb_oscillations", use_cache=False)
 
 
 def test_e01_period_and_amplitude_are_background_charge_invariant(benchmark):
-    device, gates, sweeps = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     print_experiment_header(
         "E1", "Id-Vg period = e/Cg; background charge shifts only the phase")
-    rows = []
-    analyses = {}
-    for fraction, currents in sweeps.items():
-        analysis = analyze_oscillations(gates, currents)
-        analyses[fraction] = analysis
-        rows.append([
-            f"{fraction:.2f} e",
-            analysis.period * 1e3,
-            analysis.amplitude * 1e12,
-            analysis.phase_in_periods(),
-        ])
-    print_table(["q0", "period [mV]", "amplitude [pA]", "phase [periods]"], rows)
-    print(f"theoretical period e/Cg = {device.gate_period * 1e3:.2f} mV")
+    result.print()
 
-    reference = analyses[0.0]
+    theory = result.metric("gate_period_theory_V")
+    reference_amplitude = result.metric("amplitude_A_q0")
     # Period equals e/Cg within a few percent for every background charge.
-    for fraction, analysis in analyses.items():
-        assert analysis.period == pytest.approx(device.gate_period, rel=0.05)
-        assert analysis.amplitude == pytest.approx(reference.amplitude, rel=0.05)
+    for fraction in OFFSETS_IN_E:
+        assert result.metric(f"period_V_q{fraction:g}") == \
+            pytest.approx(theory, rel=0.05)
+        assert result.metric(f"amplitude_A_q{fraction:g}") == \
+            pytest.approx(reference_amplitude, rel=0.05)
 
     # The phase, and only the phase, tracks the background charge (shift of
     # q0/e periods, up to the sign convention of the Fourier analysis).
     for fraction in (0.13, 0.25, 0.5):
-        shift = phase_shift_between(gates, sweeps[0.0], sweeps[fraction])
-        expected = 2.0 * np.pi * fraction
-        mismatch = min(
-            abs((shift - expected + np.pi) % (2.0 * np.pi) - np.pi),
-            abs((shift + expected + np.pi) % (2.0 * np.pi) - np.pi),
-        )
-        assert mismatch < 0.35
+        assert result.metric(f"phase_mismatch_rad_q{fraction:g}") < 0.35

@@ -5,61 +5,33 @@ the outcome unreliable"; coding information into the period or amplitude of
 the Id-Vg characteristic instead yields "a random background charge
 independent logic", at the price of being slower ("several periods will have
 to be used").
+
+The workload is the registered ``background_charge_logic`` scenario.
 """
 
-import pytest
+from repro.scenarios import run_scenario
 
-from repro.devices import AMFMSET
-from repro.io import print_table
-from repro.logic import (
-    AMCodedSETLogic,
-    DirectCodedSETLogic,
-    FMCodedSETLogic,
-    bit_error_rate,
-)
-
-from .conftest import print_experiment_header, standard_transistor
-
-DIRECT_TRIALS = 30
-MODULATED_TRIALS = 12
+from .conftest import print_experiment_header
 
 
 def run_experiment():
-    transistor = standard_transistor()
-    amfm = AMFMSET(junction_capacitance=1e-18, junction_resistance=1e6,
-                   gate_capacitance_low=1.5e-18, gate_capacitance_high=3e-18)
-    direct = DirectCodedSETLogic(transistor, temperature=0.5)
-    fm = FMCodedSETLogic(amfm, drain_voltage=2e-3, temperature=1.0, periods=3.0,
-                         points_per_period=16)
-    am = AMCodedSETLogic(amfm, drain_voltage=2e-2, temperature=1.0, periods=3.0,
-                         points_per_period=16)
-    results = [
-        bit_error_rate(direct, trials=DIRECT_TRIALS, amplitude=0.5, seed=11),
-        bit_error_rate(am, trials=MODULATED_TRIALS, amplitude=0.5, seed=11),
-        bit_error_rate(fm, trials=MODULATED_TRIALS, amplitude=0.5, seed=11),
-    ]
-    return results
+    return run_scenario("background_charge_logic", use_cache=False)
 
 
 def test_e02_amfm_coding_is_background_charge_immune(benchmark):
-    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    direct, am, fm = results
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     print_experiment_header(
         "E2", "direct coding breaks under random background charges, AM/FM does not")
-    print_table(
-        ["coding", "trials", "errors", "bit error rate", "periods per decision"],
-        [[r.encoding, r.trials, r.errors, f"{r.error_rate:.2f}", r.decision_periods]
-         for r in results],
-    )
+    result.print()
 
     # Direct coding: a large fraction of the bits decode incorrectly.
-    assert direct.error_rate > 0.2
+    assert result.metric("error_rate_direct") > 0.2
     # AM and FM coding: every bit decodes correctly.
-    assert am.error_rate == 0.0
-    assert fm.error_rate == 0.0
+    assert result.metric("error_rate_am") == 0.0
+    assert result.metric("error_rate_fm") == 0.0
     # The robustness is paid for with observation time: several Id-Vg periods
     # per decision instead of a single sample.
-    assert am.decision_periods >= 2.0
-    assert fm.decision_periods >= 2.0
-    assert direct.decision_periods == 0.0
+    assert result.metric("decision_periods_am") >= 2.0
+    assert result.metric("decision_periods_fm") >= 2.0
+    assert result.metric("decision_periods_direct") == 0.0

@@ -4,65 +4,39 @@ Paper claim (§2): "One other weak point of a SET is its voltage gain, which is
 given by the ratio of gate capacitance to junction capacitance.  Gains of > 1
 have been reported but are also associated with lower operating temperatures
 due to increased total node capacitance."
+
+The workload is the registered ``gain_vs_temperature`` scenario.
 """
 
-import numpy as np
 import pytest
 
-from repro.devices import SETInverter
-from repro.io import print_table
-from repro.logic import characterize_inverter, gain_temperature_tradeoff
+from repro.scenarios import run_scenario
 
 from .conftest import print_experiment_header
 
-JUNCTION_CAPACITANCE = 1e-18
 GAINS = (0.5, 1.0, 2.0, 4.0)
-TEMPERATURE = 0.2
 
 
 def run_experiment():
-    # Analytic trade-off table.
-    tradeoff = gain_temperature_tradeoff(JUNCTION_CAPACITANCE, gains=GAINS)
-    # Measured transfer curves of the complementary SET inverter for two gains.
-    measured = {}
-    for gain in (1.0, 4.0):
-        inverter = SETInverter(junction_capacitance=JUNCTION_CAPACITANCE,
-                               gate_capacitance=gain * JUNCTION_CAPACITANCE,
-                               junction_resistance=1e6)
-        period = 1.602176634e-19 / inverter.gate_capacitance
-        inputs = np.linspace(0.0, 0.5 * period, 17)
-        vin, vout = inverter.transfer_curve(inputs, temperature=TEMPERATURE)
-        measured[gain] = (inverter, characterize_inverter(vin, vout))
-    return tradeoff, measured
+    return run_scenario("gain_vs_temperature", use_cache=False)
 
 
 def test_e03_gain_is_cg_over_cj_and_costs_temperature(benchmark):
-    tradeoff, measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     print_experiment_header(
         "E3", "voltage gain = Cg/Cj; gains > 1 lower the operating temperature")
-    print_table(
-        ["design gain Cg/Cj", "C_sigma [aF]", "E_C [meV]", "T_max [K]"],
-        [[row.gain, row.total_capacitance * 1e18,
-          row.charging_energy / 1.602176634e-19 * 1e3,
-          row.max_operating_temperature] for row in tradeoff],
-        title="Analytic trade-off (single SET island, 40 kT criterion)",
-    )
-    print_table(
-        ["design gain Cg/Cj", "measured inverter peak gain", "output swing [mV]"],
-        [[gain, metrics.peak_gain, metrics.swing * 1e3]
-         for gain, (_, metrics) in measured.items()],
-        title=f"Complementary SET inverter, master equation at T = {TEMPERATURE} K",
-    )
+    result.print()
 
     # Gain above one is achievable once Cg > Cj ...
-    assert measured[4.0][1].peak_gain > 1.0
+    assert result.metric("peak_gain_design4") > 1.0
     # ... and the measured gain grows with the designed Cg/Cj ratio.
-    assert measured[4.0][1].peak_gain > measured[1.0][1].peak_gain
+    assert result.metric("peak_gain_design4") > result.metric("peak_gain_design1")
     # The price: every doubling of the gain lowers the usable temperature.
-    temperatures = [row.max_operating_temperature for row in tradeoff]
+    temperatures = [result.metric(f"tmax_K_gain{gain:g}") for gain in GAINS]
     assert all(a > b for a, b in zip(temperatures, temperatures[1:]))
     # Quantitatively, T_max follows e^2 / (2 C_sigma 40 k_B).
-    assert tradeoff[-1].max_operating_temperature == pytest.approx(
-        tradeoff[0].max_operating_temperature
-        * tradeoff[0].total_capacitance / tradeoff[-1].total_capacitance, rel=1e-9)
+    assert result.metric(f"tmax_K_gain{GAINS[-1]:g}") == pytest.approx(
+        result.metric(f"tmax_K_gain{GAINS[0]:g}")
+        * result.metric(f"c_sigma_F_gain{GAINS[0]:g}")
+        / result.metric(f"c_sigma_F_gain{GAINS[-1]:g}"), rel=1e-9)

@@ -2,73 +2,38 @@
 
 Paper claim (§2): "Achieving room temperature operation requires structures in
 the few nanometre regime."
+
+The workload is the registered ``room_temperature_set`` scenario.
 """
 
-import pytest
-
-from repro.analysis import (
-    diameter_for_temperature,
-    simulated_oscillation_visibility,
-    temperature_scaling_table,
-)
-from repro.compact import AnalyticSETModel
-from repro.io import print_table
+from repro.scenarios import run_scenario
 from repro.units import nanometre
 
 from .conftest import print_experiment_header
 
-DIAMETERS_NM = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
-
 
 def run_experiment():
-    table = temperature_scaling_table([nanometre(d) for d in DIAMETERS_NM],
-                                      margin=10.0)
-    limit = diameter_for_temperature(300.0, margin=10.0)
-    visibilities = {}
-    for temperature, total_capacitance in ((4.2, 4e-18), (300.0, 4e-18),
-                                           (300.0, 0.3e-18)):
-        model = AnalyticSETModel(
-            drain_capacitance=total_capacitance / 4.0,
-            source_capacitance=total_capacitance / 4.0,
-            gate_capacitance=total_capacitance / 2.0,
-            temperature=temperature)
-        visibilities[(temperature, total_capacitance)] = \
-            simulated_oscillation_visibility(model, temperature)
-    return table, limit, visibilities
+    return run_scenario("room_temperature_set", use_cache=False)
 
 
 def test_e04_room_temperature_needs_few_nanometre_islands(benchmark):
-    table, limit, visibilities = benchmark.pedantic(run_experiment, rounds=1,
-                                                    iterations=1)
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     print_experiment_header(
         "E4", "room-temperature operation requires few-nanometre structures")
-    print_table(
-        ["diameter [nm]", "C_sigma [aF]", "E_C [meV]", "T_max [K]", "300 K ok?"],
-        [[row.diameter * 1e9, row.total_capacitance * 1e18,
-          row.charging_energy / 1.602176634e-19 * 1e3, row.max_temperature,
-          row.room_temperature_ok] for row in table],
-        title="Island size versus maximum operating temperature (E_C >= 10 kT)",
-    )
-    print(f"largest island usable at 300 K: {limit * 1e9:.2f} nm")
-    print_table(
-        ["temperature [K]", "C_sigma [aF]", "oscillation visibility"],
-        [[temperature, capacitance * 1e18, value]
-         for (temperature, capacitance), value in visibilities.items()],
-        title="Simulated Coulomb-oscillation visibility",
-    )
+    result.print()
 
     # The 300 K limit falls in the (sub-)few-nanometre regime.
+    limit = result.metric("diameter_limit_300K_m")
     assert limit < nanometre(10.0)
     assert limit > nanometre(0.3)
     # Few-nm islands work at room temperature, tens-of-nm islands do not.
-    by_diameter = {round(row.diameter * 1e9, 1): row for row in table}
-    assert by_diameter[1.0].room_temperature_ok
-    assert not by_diameter[20.0].room_temperature_ok
-    assert not by_diameter[100.0].room_temperature_ok
+    assert result.metric("room_ok_d1nm") == 1.0
+    assert result.metric("room_ok_d20nm") == 0.0
+    assert result.metric("room_ok_d100nm") == 0.0
     # The simulated characteristics tell the same story: a 4 aF (lithographic)
     # island shows full oscillations at 4 K, none at 300 K; a 0.3 aF
     # (few-nanometre) island still oscillates at 300 K.
-    assert visibilities[(4.2, 4e-18)] > 0.8
-    assert visibilities[(300.0, 4e-18)] < 0.2
-    assert visibilities[(300.0, 0.3e-18)] > 0.5
+    assert result.metric("visibility_4.2K_4aF") > 0.8
+    assert result.metric("visibility_300K_4aF") < 0.2
+    assert result.metric("visibility_300K_0.3aF") > 0.5

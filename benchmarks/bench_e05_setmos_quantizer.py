@@ -4,60 +4,37 @@ Paper claim (§3, ref [2] Inokawa et al.): the series connection of a MOSFET
 and a SET realises "a quantized" transfer characteristic ("a Multiple-Valued
 Logic with Merged Single-Electron and MOS Transistors"); replicating the SET's
 periodic IV in CMOS "would need many transistors, not just one".
+
+The workload is the registered ``setmos_quantizer`` scenario.
 """
 
 import pytest
 
-from repro.hybrid import SETMOSQuantizer, cmos_periodic_iv_device_count
-from repro.io import print_table
+from repro.scenarios import run_scenario
 
 from .conftest import print_experiment_header
 
-SPAN_PERIODS = 4.0
-POINTS_PER_PERIOD = 16
-
 
 def run_experiment():
-    quantizer = SETMOSQuantizer()
-    analysis = quantizer.level_analysis(input_span_periods=SPAN_PERIODS,
-                                        points_per_period=POINTS_PER_PERIOD)
-    monotonicity = quantizer.staircase_quality(SPAN_PERIODS, POINTS_PER_PERIOD)
-    cmos_devices = quantizer.cmos_equivalent_device_count(SPAN_PERIODS)
-    return quantizer, analysis, monotonicity, cmos_devices
+    return run_scenario("setmos_quantizer", use_cache=False)
 
 
 def test_e05_setmos_quantizer_packs_functionality_into_few_devices(benchmark):
-    quantizer, analysis, monotonicity, cmos_devices = benchmark.pedantic(
-        run_experiment, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     print_experiment_header(
         "E5", "SET-MOS quantizer: multi-valued transfer with 3 devices")
-    print_table(
-        ["level", "output [mV]"],
-        [[index, level * 1e3] for index, level in enumerate(analysis.levels)],
-    )
-    print_table(
-        ["quantity", "value"],
-        [
-            ["levels over 4 input periods", analysis.level_count],
-            ["level spacing [mV]", analysis.separation * 1e3],
-            ["spacing uniformity", analysis.uniformity],
-            ["staircase monotonicity", monotonicity],
-            ["SET-MOS active devices", quantizer.device_count],
-            ["CMOS flash equivalent devices", cmos_devices],
-            ["device-count advantage", cmos_devices / quantizer.device_count],
-            ["CMOS devices to replicate one periodic IV",
-             cmos_periodic_iv_device_count(int(SPAN_PERIODS))],
-        ],
-    )
+    result.print()
 
     # A usable multi-valued staircase: one level per gate period, evenly
     # spaced, monotonic.
-    assert 4 <= analysis.level_count <= 6
-    assert analysis.separation == pytest.approx(quantizer.input_period, rel=0.15)
-    assert analysis.uniformity > 0.7
-    assert monotonicity > 0.9
+    assert 4 <= result.metric("level_count") <= 6
+    assert result.metric("level_separation_V") == \
+        pytest.approx(result.metric("input_period_V"), rel=0.15)
+    assert result.metric("level_uniformity") > 0.7
+    assert result.metric("staircase_monotonicity") > 0.9
     # The functional-density claim: one SET + two MOSFETs replace dozens of
     # CMOS transistors.
-    assert quantizer.device_count == 3
-    assert cmos_devices / quantizer.device_count > 5.0
+    assert result.metric("set_device_count") == 3
+    assert result.metric("cmos_device_count") \
+        / result.metric("set_device_count") > 5.0

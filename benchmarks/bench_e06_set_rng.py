@@ -5,54 +5,32 @@ implementation is seven orders of magnitude less, at eight orders of magnitude
 smaller occupied area.  One of the reasons for this stellar performance is the
 large (four orders of magnitude higher) telegraphic noise of the
 root-mean-square value of 0.12 V achieved in the SET."
+
+The workload is the registered ``set_rng`` scenario.
 """
 
-import pytest
-
-from repro.analysis import run_randomness_battery
-from repro.hybrid import SingleElectronRNG
-from repro.io import print_table
+from repro.scenarios import run_scenario
 
 from .conftest import print_experiment_header
 
-BIT_COUNT = 3000
-
 
 def run_experiment():
-    generator = SingleElectronRNG(seed=20260616)
-    signal = generator.run(sample_count=800, debias=False)
-    bits = generator.generate_bits(BIT_COUNT)
-    report = run_randomness_battery(bits)
-    comparison = generator.compare_with_cmos(sample_count=400)
-    return generator, signal, bits, report, comparison
+    return run_scenario("set_rng", use_cache=False)
 
 
 def test_e06_set_rng_matches_the_papers_comparison(benchmark):
-    generator, signal, bits, report, comparison = benchmark.pedantic(
-        run_experiment, rounds=1, iterations=1)
-    power_orders, area_orders, noise_orders = comparison.orders_of_magnitude()
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     print_experiment_header(
         "E6", "SET-MOS RNG: ~1e7 lower power, ~1e8 smaller area, ~1e4 larger noise")
-    print_table(
-        ["quantity", "SET-MOS cell", "CMOS RNG macro", "advantage (orders)"],
-        [
-            ["power [W]", comparison.set_power, comparison.cmos_power, power_orders],
-            ["area [m^2]", comparison.set_area, comparison.cmos_area, area_orders],
-            ["noise RMS [V]", comparison.set_noise_rms, comparison.cmos_noise_rms,
-             noise_orders],
-        ],
-    )
-    print(f"telegraph signal: swing {signal.output_swing * 1e3:.0f} mV, "
-          f"RMS {signal.output_rms * 1e3:.0f} mV (paper: 120 mV)")
-    print_table(["test", "p-value", "verdict"], report.summary_rows(),
-                title=f"Randomness battery on {bits.size} debiased bits")
+    result.print()
 
     # Orders-of-magnitude advantages in the paper's direction.
-    assert power_orders >= 6.0
-    assert area_orders >= 7.0
-    assert noise_orders >= 3.0
+    assert result.metric("power_orders") >= 6.0
+    assert result.metric("area_orders") >= 7.0
+    assert result.metric("noise_orders") >= 3.0
     # The telegraph noise is of the order of a tenth of a volt.
-    assert 0.02 < signal.output_rms < 0.3
+    assert 0.02 < result.metric("output_rms_V") < 0.3
     # The generated stream is statistically random (allow one marginal test).
-    assert report.pass_count >= len(report.p_values) - 1
+    assert result.metric("battery_pass_count") >= \
+        result.metric("battery_test_count") - 1

@@ -7,121 +7,42 @@ capture all the necessary physics but are limited in terms of circuit size" —
 hence a combination of both is desirable.  This benchmark quantifies the
 speed/accuracy trade-off between the package's three engines and demonstrates
 the two physics gaps of the compact model.
+
+The workload is the registered ``simulator_comparison`` scenario.
 """
 
-import time
-
-import numpy as np
 import pytest
 
-from repro.compact import AnalyticSETModel
-from repro.circuit import Circuit
-from repro.io import print_table
-from repro.master import MasterEquationSolver
-from repro.montecarlo import MonteCarloSimulator
+from repro.scenarios import run_scenario
 
-from .conftest import print_experiment_header, standard_transistor
-
-TEMPERATURE = 2.0
-DRAIN_VOLTAGE = 5e-3
-SWEEP_POINTS = 33
+from .conftest import print_experiment_header
 
 
-def sweep_compact(device, gates):
-    model = AnalyticSETModel(temperature=TEMPERATURE)
-    return np.array([model.drain_current(DRAIN_VOLTAGE, vg) for vg in gates])
-
-
-def sweep_master(device, gates):
-    _, currents = device.id_vg(gates, DRAIN_VOLTAGE, TEMPERATURE)
-    return currents
-
-
-def sweep_monte_carlo(device, gates):
-    simulator = MonteCarloSimulator(device.build_circuit(drain_voltage=DRAIN_VOLTAGE),
-                                    temperature=TEMPERATURE, seed=4)
-    _, currents, _ = simulator.sweep_source("VG", gates, "J_drain",
-                                            max_events=2000, warmup_events=200)
-    return currents
-
-
-def run_accuracy_and_speed():
-    device = standard_transistor()
-    gates = np.linspace(0.0, 2.0 * device.gate_period, SWEEP_POINTS)
-    results = {}
-    for label, runner in (("compact", sweep_compact), ("master", sweep_master),
-                          ("monte_carlo", sweep_monte_carlo)):
-        start = time.perf_counter()
-        currents = runner(device, gates)
-        results[label] = (time.perf_counter() - start, currents)
-    return device, gates, results
-
-
-def run_physics_gaps():
-    device = standard_transistor()
-    bias = 0.6 * device.blockade_voltage
-    compact_leak = AnalyticSETModel(temperature=0.0).drain_current(bias, 0.0)
-    cotunneling_leak = MonteCarloSimulator(
-        device.build_circuit(drain_voltage=bias), temperature=0.0, seed=5,
-        include_cotunneling=True).stationary_current("J_drain", max_events=800,
-                                                     warmup_events=0).mean
-    # Interacting double island: only the detailed engines can describe it.
-    circuit = Circuit("interacting")
-    circuit.add_island("dot_a")
-    circuit.add_island("dot_b")
-    circuit.add_voltage_source("VL", "lead", 0.1)
-    circuit.add_junction("J_left", "lead", "dot_a", 1e-18, 1e6)
-    circuit.add_junction("J_mid", "dot_a", "dot_b", 0.5e-18, 1e6)
-    circuit.add_junction("J_right", "dot_b", "gnd", 1e-18, 1e6)
-    circuit.add_capacitor("C_ga", "gnd", "dot_a", 0.5e-18)
-    interacting_current = MasterEquationSolver(circuit, temperature=2.0,
-                                               extra_electrons=2) \
-        .current("J_left")
-    return compact_leak, cotunneling_leak, interacting_current
+def run_experiment():
+    return run_scenario("simulator_comparison", use_cache=False)
 
 
 def test_e07_compact_model_is_fast_but_misses_physics(benchmark):
-    (device, gates, results) = benchmark.pedantic(run_accuracy_and_speed,
-                                                  rounds=1, iterations=1)
-    compact_leak, cotunneling_leak, interacting_current = run_physics_gaps()
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     print_experiment_header(
         "E7", "compact models are fast but approximate; MC captures the full physics")
-    reference = results["master"][1]
-    rows = []
-    for label, (runtime, currents) in results.items():
-        deviation = np.sqrt(np.mean((currents - reference) ** 2)) / reference.max()
-        rows.append([label, runtime * 1e3, deviation * 100.0])
-    print_table(["engine", "runtime [ms]", "RMS deviation from master [%]"], rows,
-                title="Id-Vg sweep of one SET (33 points)")
-    print_table(
-        ["quantity", "value"],
-        [
-            ["compact-model current deep in blockade [A]", compact_leak],
-            ["Monte-Carlo co-tunnelling current [A]", cotunneling_leak],
-            ["interacting double-island current [nA] (master eq.)",
-             interacting_current * 1e9],
-        ],
-        title="Physics only the detailed engines capture",
-    )
-
-    compact_time = results["compact"][0]
-    master_time = results["master"][0]
-    monte_carlo_time = results["monte_carlo"][0]
-    compact_error = np.sqrt(np.mean((results["compact"][1] - reference) ** 2)) \
-        / reference.max()
+    result.print()
 
     # Speed ordering: compact is at least an order of magnitude faster than the
     # detailed engines.
-    assert compact_time < 0.1 * master_time
-    assert compact_time < 0.1 * monte_carlo_time
+    assert result.metric("runtime_s_compact") < \
+        0.1 * result.metric("runtime_s_master")
+    assert result.metric("runtime_s_compact") < \
+        0.1 * result.metric("runtime_s_monte_carlo")
     # Accuracy: the compact model still tracks the sequential-tunnelling result
     # closely at this operating point ...
-    assert compact_error < 0.10
+    assert result.metric("rms_dev_compact") < 0.10
     # ... but misses co-tunnelling entirely: zero current where the detailed
     # engine sees a finite leak.
-    assert compact_leak == pytest.approx(0.0, abs=1e-20)
-    assert cotunneling_leak > 0.0
+    assert result.metric("compact_blockade_leak_A") == \
+        pytest.approx(0.0, abs=1e-20)
+    assert result.metric("cotunneling_leak_A") > 0.0
     # And the interacting double-dot, which has no compact-model description
     # here, conducts happily in the master-equation engine.
-    assert interacting_current > 0.0
+    assert result.metric("interacting_current_A") > 0.0

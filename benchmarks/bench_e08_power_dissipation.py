@@ -4,72 +4,34 @@ Paper claim (§2): "Chip area (cost) and power advantages are the real strong
 points of a single-electron technology, which would not be altered by a
 modulation scheme."  (Also §4 ref [4]: Mahapatra et al., power dissipation in
 single-electron logic.)
+
+The workload is the registered ``power_dissipation`` scenario.
 """
 
-import pytest
+from repro.scenarios import run_scenario
 
-from repro.hybrid import cmos_periodic_iv_device_count
-from repro.io import print_table
-from repro.logic import (
-    cmos_switching_energy,
-    compare_logic_power,
-    set_switching_energy,
-    thermodynamic_limit,
-)
-
-from .conftest import print_experiment_header, standard_transistor
-
-FREQUENCY = 1e9
-ACTIVITY = 0.1
+from .conftest import print_experiment_header
 
 
 def run_experiment():
-    device = standard_transistor()
-    set_supply = device.blockade_voltage  # ~ e / C_sigma
-    comparison = compare_logic_power(
-        set_supply_voltage=set_supply,
-        cmos_supply_voltage=1.0,
-        cmos_load_capacitance=1e-15,
-        frequency=FREQUENCY,
-        activity_factor=ACTIVITY,
-        electrons_per_event=2,
-    )
-    return device, set_supply, comparison
+    return run_scenario("power_dissipation", use_cache=False)
 
 
 def test_e08_single_electron_logic_wins_on_energy_and_devices(benchmark):
-    device, set_supply, comparison = benchmark.pedantic(run_experiment, rounds=1,
-                                                        iterations=1)
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     print_experiment_header(
         "E8", "switching energy and device count: single-electron logic vs CMOS")
-    print_table(
-        ["quantity", "SET logic", "CMOS logic"],
-        [
-            ["supply voltage [V]", set_supply, 1.0],
-            ["switching energy [J]", comparison.set_switching_energy,
-             comparison.cmos_switching_energy],
-            [f"dynamic power at {FREQUENCY:.0e} Hz [W]",
-             comparison.set_dynamic_power, comparison.cmos_dynamic_power],
-            ["static power [W]", comparison.set_static_power,
-             comparison.cmos_static_power],
-            ["total power per gate [W]", comparison.set_total_power,
-             comparison.cmos_total_power],
-        ],
-    )
-    print(f"switching-energy advantage : {comparison.energy_advantage:.2e}x")
-    print(f"total-power advantage      : {comparison.power_advantage:.2e}x")
-    print(f"Landauer limit at 300 K    : {thermodynamic_limit(300.0):.2e} J")
-    print(f"devices to replicate a 4-peak periodic IV in CMOS: "
-          f"{cmos_periodic_iv_device_count(4)} (SET: 1)")
+    result.print()
 
     # The paper's qualitative claim: orders of magnitude lower switching energy
     # and power for the single-electron gate.
-    assert comparison.energy_advantage > 1e3
-    assert comparison.power_advantage > 1e2
+    assert result.metric("energy_advantage") > 1e3
+    assert result.metric("power_advantage") > 1e2
     # Both technologies remain far above the fundamental Landauer bound, so the
     # advantage is an engineering one, not a thermodynamic violation.
-    assert comparison.set_switching_energy > thermodynamic_limit(300.0)
+    assert result.metric("set_switching_energy_J") > \
+        result.metric("landauer_300K_J")
     # Functional density: one SET replaces tens of CMOS devices for the
     # periodic-IV function.
-    assert cmos_periodic_iv_device_count(4) >= 20
+    assert result.metric("cmos_periodic_iv_devices") >= 20

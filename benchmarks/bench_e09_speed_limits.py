@@ -6,77 +6,34 @@ several periods will have to be used.  However, the fundamental speed limit of
 SETs is linked to the speed of quantum mechanical tunnelling which is a
 sub-Pico second process and offers therefore plenty of room to realize a fast
 SET logic."
+
+The workload is the registered ``speed_limits`` scenario.
 """
 
-import numpy as np
-import pytest
+from repro.scenarios import run_scenario
 
-from repro.core import charging_time, heisenberg_tunnel_time, tunnel_traversal_time
-from repro.devices import AMFMSET
-from repro.io import print_table
-from repro.logic import FMCodedSETLogic
-from repro.master import MasterEquationDynamics
-from repro.units import electronvolt
-
-from .conftest import print_experiment_header, standard_transistor
-
-BARRIER_HEIGHT_EV = 1.0
-BARRIER_WIDTH = 2e-9
+from .conftest import print_experiment_header
 
 
 def run_experiment():
-    device = standard_transistor()
-    traversal = tunnel_traversal_time(electronvolt(BARRIER_HEIGHT_EV),
-                                      barrier_width=BARRIER_WIDTH)
-    heisenberg = heisenberg_tunnel_time(electronvolt(BARRIER_HEIGHT_EV))
-    rc_time = charging_time(device.junction_resistance, device.total_capacitance)
-    dynamics = MasterEquationDynamics(
-        device.build_circuit(drain_voltage=0.05, gate_voltage=0.04), temperature=1.0)
-    settling = dynamics.relaxation_time()
-
-    amfm = AMFMSET(junction_capacitance=1e-18, junction_resistance=1e6,
-                   gate_capacitance_low=1.5e-18, gate_capacitance_high=3e-18)
-    fm = FMCodedSETLogic(amfm, drain_voltage=2e-3, temperature=1.0, periods=3.0,
-                         points_per_period=16)
-    # One FM decision requires sweeping `periods` oscillation periods; with the
-    # gate settled per point, its latency is (points per decision) x settling.
-    points_per_decision = fm.decision_periods * fm.points_per_period
-    fm_latency = points_per_decision * settling
-    return {
-        "traversal": traversal,
-        "heisenberg": heisenberg,
-        "rc": rc_time,
-        "settling": settling,
-        "fm_periods": fm.decision_periods,
-        "fm_latency": fm_latency,
-    }
+    return run_scenario("speed_limits", use_cache=False)
 
 
 def test_e09_tunnelling_is_subpicosecond_but_amfm_decisions_are_slower(benchmark):
-    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     print_experiment_header(
         "E9", "sub-picosecond tunnelling; AM/FM logic pays a many-period latency")
-    print_table(
-        ["timescale", "value [s]"],
-        [
-            ["quantum tunnel traversal (1 eV, 2 nm)", results["traversal"]],
-            ["Heisenberg estimate hbar/E_b", results["heisenberg"]],
-            ["junction RC time", results["rc"]],
-            ["circuit settling time (master eq.)", results["settling"]],
-            ["FM-coded decision latency", results["fm_latency"]],
-        ],
-    )
-    print(f"FM decision needs {results['fm_periods']:.0f} Id-Vg periods "
-          "(direct coding: a single sample)")
+    result.print()
 
     # The fundamental tunnelling process is sub-picosecond ...
-    assert results["traversal"] < 1e-12
-    assert results["heisenberg"] < 1e-12
+    assert result.metric("tunnel_traversal_s") < 1e-12
+    assert result.metric("heisenberg_s") < 1e-12
     # ... the practical per-event timescale is the RC / settling time ...
-    assert results["traversal"] < results["rc"] < 1e-9
-    assert results["settling"] < 1e-9
+    assert result.metric("tunnel_traversal_s") < \
+        result.metric("rc_time_s") < 1e-9
+    assert result.metric("settling_s") < 1e-9
     # ... and the background-charge-immune FM decision is orders of magnitude
     # slower than a single switching event, exactly as the paper concedes.
-    assert results["fm_periods"] >= 2.0
-    assert results["fm_latency"] > 10.0 * results["settling"]
+    assert result.metric("fm_decision_periods") >= 2.0
+    assert result.metric("fm_latency_s") > 10.0 * result.metric("settling_s")

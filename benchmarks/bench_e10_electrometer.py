@@ -2,53 +2,32 @@
 
 Paper claim (§2): the SET's "large charge sensitivity [...] for sensors that
 is a great thing.  One can build super sensitive electrometers that way."
+
+The workload is the registered ``electrometer`` scenario.
 """
 
-import numpy as np
-import pytest
+from repro.scenarios import run_scenario
 
-from repro.devices import SETElectrometer
-from repro.io import print_table
-
-from .conftest import print_experiment_header, standard_transistor
-
-TEMPERATURE = 0.3
-SCAN_POINTS = 13
+from .conftest import print_experiment_header
 
 
 def run_experiment():
-    device = standard_transistor()
-    electrometer = SETElectrometer(device, temperature=TEMPERATURE)
-    gate_voltages = np.linspace(0.0, device.gate_period, SCAN_POINTS)
-    profile = [electrometer.charge_sensitivity(v) for v in gate_voltages]
-    best = min((r for r in profile if np.isfinite(r.sensitivity_e_per_sqrt_hz)),
-               key=lambda r: r.sensitivity_e_per_sqrt_hz)
-    return device, profile, best
+    return run_scenario("electrometer", use_cache=False)
 
 
 def test_e10_set_electrometer_resolves_far_below_one_electron(benchmark):
-    device, profile, best = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     print_experiment_header("E10", "the SET is a super-sensitive electrometer")
-    print_table(
-        ["V_gate [mV]", "I [pA]", "dI/dq0 [nA/e]", "sensitivity [micro-e/sqrt(Hz)]"],
-        [[r.gate_voltage * 1e3, r.current * 1e12,
-          r.transconductance_per_charge * 1.602176634e-19 * 1e9,
-          r.sensitivity_e_per_sqrt_hz * 1e6] for r in profile],
-        title=f"T = {TEMPERATURE} K, Vd = half the blockade voltage",
-    )
-    print(f"best operating point: Vg = {best.gate_voltage * 1e3:.1f} mV, "
-          f"sensitivity = {best.sensitivity_e_per_sqrt_hz * 1e6:.1f} micro-e/sqrt(Hz)")
-    for bandwidth in (1.0, 1e3, 1e6):
-        print(f"  minimum detectable charge in {bandwidth:>9.0f} Hz: "
-              f"{best.minimum_detectable_charge(bandwidth):.2e} e")
+    result.print()
 
     # Super-sensitivity: far below a thousandth of an electron per sqrt(Hz) at
     # the optimum, and still sub-single-electron over a 1 MHz bandwidth.
-    assert best.sensitivity_e_per_sqrt_hz < 1e-3
-    assert best.minimum_detectable_charge(1e6) < 1.0
+    assert result.metric("best_sensitivity_e_per_sqrt_hz") < 1e-3
+    assert result.metric("min_detectable_charge_1MHz_e") < 1.0
     # The sensitivity is strongly gate-dependent: the flank beats the blockade
     # centre by a large factor (that is exactly the background-charge problem
     # of experiment E2, seen from the sensor's point of view).
-    gains = [abs(r.transconductance_per_charge) for r in profile]
-    assert max(gains) > 10.0 * (min(gains) + 1e-12 * max(gains))
+    maximum = result.metric("max_transconductance_per_charge")
+    minimum = result.metric("min_transconductance_per_charge")
+    assert maximum > 10.0 * (minimum + 1e-12 * maximum)

@@ -1,97 +1,24 @@
-"""Background-charge-immune logic: direct coding versus AM/FM coding.
+"""Background-charge-immune logic: direct coding versus AM/FM coding (paper §2).
 
-This example reproduces the heart of the paper's argument (its §2).  A random
-background charge near a SET shifts the *phase* of its periodic Id-Vg
-characteristic but not its *period* or *amplitude*:
+A random background charge shifts the *phase* of a SET's periodic Id-Vg
+characteristic but not its *period* or *amplitude*, so logic coded into a
+current level is scrambled by stray charges while period (FM) or amplitude
+(AM) coding keeps working.  The registered ``background_charge_logic``
+scenario runs the Monte-Carlo bit-error-rate comparison.  Equivalent CLI::
 
-* logic that codes a bit directly into a voltage level (gate bias -> current
-  level) is scrambled by stray charges of a fraction of an electron;
-* logic that codes the bit into the gate capacitance — read out as the period
-  (FM) or amplitude (AM) of the Id-Vg characteristic — keeps working.
-
-The example first visualises the phase-shift-only property, then runs a small
-Monte-Carlo bit-error-rate comparison of the three coding schemes.
-
-Run with::
-
-    python examples/background_charge_logic.py
+    python -m repro run background_charge_logic
 """
 
-import numpy as np
-
-from repro.analysis import analyze_oscillations
-from repro.constants import E_CHARGE
-from repro.devices import AMFMSET, SETTransistor
-from repro.io import print_table
-from repro.logic import (
-    AMCodedSETLogic,
-    DirectCodedSETLogic,
-    FMCodedSETLogic,
-    bit_error_rate,
-)
-
-
-def phase_shift_demonstration() -> None:
-    """Show that q0 moves only the phase of the Id-Vg characteristic."""
-    device = SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
-                           junction_resistance=1e6)
-    gate_voltages = np.linspace(0.0, 3.0 * device.gate_period, 120, endpoint=False)
-    rows = []
-    for q0_fraction in (0.0, 0.13, 0.25, 0.5):
-        _, currents = device.id_vg(gate_voltages, drain_voltage=2e-3,
-                                   temperature=1.0,
-                                   background_charge=q0_fraction * E_CHARGE)
-        analysis = analyze_oscillations(gate_voltages, currents)
-        rows.append([
-            f"{q0_fraction:.2f} e",
-            analysis.period * 1e3,
-            analysis.amplitude * 1e12,
-            analysis.phase_in_periods(),
-        ])
-    print_table(
-        ["background charge", "period [mV]", "amplitude [pA]", "phase [periods]"],
-        rows,
-        title="Background charge moves the phase, never the period or amplitude",
-    )
-
-
-def bit_error_rate_comparison() -> None:
-    """Race the three coding schemes over random background charges."""
-    transistor = SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
-                               junction_resistance=1e6)
-    amfm = AMFMSET(junction_capacitance=1e-18, junction_resistance=1e6,
-                   gate_capacitance_low=1.5e-18, gate_capacitance_high=3e-18)
-
-    direct = DirectCodedSETLogic(transistor, temperature=0.5)
-    fm = FMCodedSETLogic(amfm, drain_voltage=2e-3, temperature=1.0, periods=3.0)
-    am = AMCodedSETLogic(amfm, drain_voltage=2e-2, temperature=1.0, periods=3.0)
-
-    rows = []
-    for encoding, trials in ((direct, 40), (am, 16), (fm, 16)):
-        result = bit_error_rate(encoding, trials=trials, amplitude=0.5, seed=7)
-        rows.append([
-            encoding.name,
-            result.trials,
-            result.errors,
-            f"{result.error_rate * 100.0:.1f} %",
-            result.decision_periods,
-        ])
-    print()
-    print_table(
-        ["coding", "trials", "errors", "bit error rate", "periods per decision"],
-        rows,
-        title="Random background charges (uniform in [-e/2, e/2]), calibration at q0 = 0",
-    )
-    print()
-    print("Direct coding collapses under random background charges;")
-    print("AM/FM coding decodes every bit correctly, at the cost of observing")
-    print("several oscillation periods per decision (the speed penalty the")
-    print("paper concedes).")
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    phase_shift_demonstration()
-    bit_error_rate_comparison()
+    result = run_scenario("background_charge_logic", log=print)
+    print()
+    result.print()
+    print(f"\ndirect-coded error rate: {result.metric('error_rate_direct'):.2f}; "
+          f"AM/FM error rates: {result.metric('error_rate_am'):.2f} / "
+          f"{result.metric('error_rate_fm'):.2f}")
 
 
 if __name__ == "__main__":

@@ -1,57 +1,23 @@
 """The SET as a super-sensitive electrometer (paper §2).
 
 The same charge sensitivity that ruins directly coded SET logic makes the SET
-the most sensitive electrometer known: a fraction of an elementary charge on
-the gate shifts the drain current measurably.  This example finds the optimum
-operating point of a SET electrometer and quantifies the minimum detectable
-charge for shot-noise-limited readout.
+the most sensitive electrometer known.  The registered ``electrometer``
+scenario scans the operating point across one gate period and quantifies the
+minimum detectable charge for shot-noise-limited readout.  Equivalent CLI::
 
-Run with::
-
-    python examples/electrometer.py
+    python -m repro run electrometer
 """
 
-import numpy as np
-
-from repro.devices import SETElectrometer, SETTransistor
-from repro.io import print_table
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    transistor = SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
-                               junction_resistance=1e6)
-    electrometer = SETElectrometer(transistor, temperature=0.3)
-    period = transistor.gate_period
-
-    # Sensitivity across one Coulomb-oscillation period.
-    gate_voltages = np.linspace(0.0, period, 9)
-    rows = []
-    for gate_voltage in gate_voltages:
-        result = electrometer.charge_sensitivity(gate_voltage)
-        rows.append([
-            gate_voltage * 1e3,
-            result.current * 1e12,
-            result.transconductance_per_charge * 1.602176634e-19 * 1e9,
-            result.sensitivity_e_per_sqrt_hz * 1e6,
-        ])
-    print_table(
-        ["V_gate [mV]", "I [pA]", "dI/dq0 [nA/e]", "sensitivity [microE/sqrt(Hz)]"],
-        rows,
-        title="Electrometer transfer across one gate period (T = 0.3 K, Vd = e/2C)",
-    )
-
-    best = electrometer.optimise_bias()
+    result = run_scenario("electrometer", log=print)
     print()
-    print("Optimum operating point:")
-    print(f"  gate bias              : {best.gate_voltage * 1e3:.1f} mV")
-    print(f"  charge sensitivity     : "
-          f"{best.sensitivity_e_per_sqrt_hz * 1e6:.1f} micro-e / sqrt(Hz)")
-    for bandwidth in (1.0, 1e3, 1e6):
-        print(f"  min. detectable charge in {bandwidth:>9.0f} Hz : "
-              f"{best.minimum_detectable_charge(bandwidth):.2e} e")
-    print()
-    print("Sub-single-electron resolution over MHz bandwidths -- 'for sensors")
-    print("that is a great thing' (paper, section 2).")
+    result.print()
+    best = result.metric("best_sensitivity_e_per_sqrt_hz")
+    print(f"\nbest sensitivity: {best * 1e6:.1f} micro-e/sqrt(Hz) at "
+          f"Vg = {result.metric('best_gate_voltage_V') * 1e3:.1f} mV")
 
 
 if __name__ == "__main__":

@@ -1,88 +1,26 @@
-"""Quickstart: build a single-electron transistor and look at its characteristics.
+"""Quickstart: run the canonical Coulomb-oscillation scenario.
 
-This example covers the basic workflow of the library:
+Every workload in this package is a registered, declaratively specified
+scenario: the spec names the device, engine, sweep axes, observables, seed,
+and budget, and ``run_scenario`` dispatches to the right engine fast path and
+caches the result by spec content hash (run this twice — the second run is
+served from the cache without touching any engine).  Equivalent CLI::
 
-1. describe a SET by its capacitances and tunnel resistances,
-2. simulate its Id-Vg (Coulomb oscillations) and Id-Vd (Coulomb blockade)
-   characteristics with the master-equation solver,
-3. cross-check one operating point with the kinetic Monte-Carlo simulator,
-4. extract the figures of merit the paper talks about: oscillation period
-   ``e/Cg``, blockade voltage ``e/C_sigma``, charging energy and the maximum
-   operating temperature.
-
-Run with::
-
-    python examples/quickstart.py
+    python -m repro run coulomb_oscillations
 """
 
-import numpy as np
-
-from repro.analysis import analyze_oscillations, analyze_blockade
-from repro.constants import E_CHARGE
-from repro.devices import SETTransistor
-from repro.io import print_table
-from repro.montecarlo import MonteCarloSimulator
-from repro.units import attofarad, megaohm, millivolt
+from repro.scenarios import get_scenario, run_scenario
 
 
 def main() -> None:
-    # 1. The device: 1 aF junctions, 2 aF gate, 1 Mohm junctions.
-    device = SETTransistor(junction_capacitance=attofarad(1.0),
-                           gate_capacitance=attofarad(2.0),
-                           junction_resistance=megaohm(1.0))
-
-    print_table(
-        ["figure of merit", "value"],
-        [
-            ["gate period e/Cg", f"{device.gate_period * 1e3:.1f} mV"],
-            ["blockade voltage e/C_sigma", f"{device.blockade_voltage * 1e3:.1f} mV"],
-            ["charging energy", f"{device.charging_energy / E_CHARGE * 1e3:.2f} meV"],
-            ["max operating temperature", f"{device.max_operating_temperature():.2f} K"],
-            ["intrinsic voltage gain Cg/Cj", f"{device.voltage_gain:.1f}"],
-        ],
-        title="Device figures of merit",
-    )
-
-    # 2. Coulomb oscillations: drain current versus gate voltage.
-    temperature = 1.0
-    gate_voltages = np.linspace(0.0, 3.0 * device.gate_period, 120, endpoint=False)
-    _, currents = device.id_vg(gate_voltages, drain_voltage=millivolt(2.0),
-                               temperature=temperature)
-    oscillations = analyze_oscillations(gate_voltages, currents)
+    scenario = get_scenario("coulomb_oscillations")
+    print(f"{scenario.name}: {scenario.title}")
+    print(f"claim: {scenario.claim}\n")
+    result = run_scenario(scenario.name, log=print)
     print()
-    print(f"Coulomb oscillations at T = {temperature} K, Vd = 2 mV:")
-    print(f"  measured period    : {oscillations.period * 1e3:.2f} mV "
-          f"(theory {device.gate_period * 1e3:.2f} mV)")
-    print(f"  peak current       : {currents.max() * 1e12:.1f} pA")
-    print(f"  modulation depth   : "
-          f"{(currents.max() - currents.min()) / currents.max() * 100.0:.1f} %")
-
-    # 3. Coulomb blockade: drain current versus drain voltage.
-    drain_voltages = np.linspace(-0.12, 0.12, 97)
-    _, iv = device.id_vd(drain_voltages, gate_voltage=0.0, temperature=0.1)
-    blockade = analyze_blockade(drain_voltages, iv)
-    print()
-    print("Coulomb blockade at T = 0.1 K, Vg = 0:")
-    print(f"  conduction gap     : {blockade.gap * 1e3:.1f} mV")
-    print(f"  high-bias resistance: {blockade.asymptotic_resistance / 1e6:.2f} MOhm "
-          f"(theory {device.series_resistance / 1e6:.2f} MOhm)")
-
-    # 4. Cross-check with the Monte-Carlo engine at one operating point.
-    operating_point = device.build_circuit(drain_voltage=0.05, gate_voltage=0.04)
-    simulator = MonteCarloSimulator(operating_point, temperature=temperature, seed=1)
-    estimate = simulator.stationary_current("J_drain", max_events=20_000,
-                                            warmup_events=1_000)
-    from repro.master import MasterEquationSolver
-
-    reference = MasterEquationSolver(
-        device.build_circuit(drain_voltage=0.05, gate_voltage=0.04),
-        temperature=temperature).current("J_drain")
-    print()
-    print("Cross-check at Vd = 50 mV, Vg = 40 mV:")
-    print(f"  master equation    : {reference * 1e9:.3f} nA")
-    print(f"  Monte Carlo        : {estimate.mean * 1e9:.3f} +- "
-          f"{estimate.stderr * 1e9:.3f} nA "
-          f"({estimate.events} events)")
+    result.print()
+    print(f"\nperiod e/Cg = {result.metric('gate_period_theory_V') * 1e3:.2f} mV "
+          f"(engine: {result.engine}, cache: {result.meta.get('cache')})")
 
 
 if __name__ == "__main__":

@@ -1,64 +1,24 @@
 """The single-electron random-number generator (paper §3, Uchida-style).
 
-A single charge trap next to a room-temperature SET island flips back and
-forth at random (a random telegraph signal).  Because the SET is extremely
-charge sensitive, each flip swings the output of a SET-MOS stack by a tenth of
-a volt — a physical entropy source that needs no amplification.  Sampling the
-output with a comparator and von-Neumann debiasing yields random bits.
+A charge trap next to a room-temperature SET island flips at random and each
+flip swings the SET-MOS output by a tenth of a volt — a physical entropy
+source needing no amplification.  The registered ``set_rng`` scenario
+generates a debiased bit stream, runs the NIST-style battery, and reproduces
+the paper's power / area / noise comparison.  Equivalent CLI::
 
-The example generates a bit stream, runs a NIST-style randomness battery on
-it, and reproduces the paper's power / area / noise comparison against a CMOS
-thermal-noise RNG macro.
-
-Run with::
-
-    python examples/random_number_generator.py
+    python -m repro run set_rng
 """
 
-from repro.analysis import run_randomness_battery
-from repro.hybrid import SingleElectronRNG
-from repro.io import print_table
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    generator = SingleElectronRNG(seed=42)
-
-    # A short run to characterise the physical noise signal.
-    sample = generator.run(sample_count=2_000, debias=False)
-    print("Telegraph-noise output signal:")
-    print(f"  output swing : {sample.output_swing * 1e3:.0f} mV")
-    print(f"  output RMS   : {sample.output_rms * 1e3:.0f} mV "
-          f"(paper: 120 mV)")
-    print(f"  raw bit bias : {sample.raw_bits.mean():.3f}")
-    print(f"  cell power   : {generator.power_estimate() * 1e9:.2f} nW")
+    result = run_scenario("set_rng", log=print)
     print()
-
-    # Generate a debiased bit stream and test it.
-    bits = generator.generate_bits(4_000)
-    report = run_randomness_battery(bits)
-    print_table(
-        ["test", "p-value", "verdict"],
-        report.summary_rows(),
-        title=f"Randomness battery on {bits.size} debiased bits",
-    )
-    print()
-
-    # The paper's comparison table.
-    comparison = generator.compare_with_cmos(sample_count=512)
-    power_orders, area_orders, noise_orders = comparison.orders_of_magnitude()
-    print_table(
-        ["quantity", "SET-MOS cell", "CMOS RNG macro", "advantage"],
-        [
-            ["power [W]", comparison.set_power, comparison.cmos_power,
-             f"10^{power_orders:.1f}"],
-            ["area [m^2]", comparison.set_area, comparison.cmos_area,
-             f"10^{area_orders:.1f}"],
-            ["noise RMS [V]", comparison.set_noise_rms, comparison.cmos_noise_rms,
-             f"10^{noise_orders:.1f}"],
-        ],
-        title="SET-MOS RNG versus CMOS thermal-noise RNG (paper: 10^7 power, "
-              "10^8 area, 10^4 noise)",
-    )
+    result.print()
+    print(f"\nbattery: {result.metric('battery_pass_count'):.0f} of "
+          f"{result.metric('battery_test_count'):.0f} tests passed; "
+          f"output RMS {result.metric('output_rms_V') * 1e3:.0f} mV")
 
 
 if __name__ == "__main__":

@@ -1,74 +1,24 @@
 """Hybrid SET-MOS multiple-valued logic: the quantizer of the paper's §3.
 
 One SET in series with a MOSFET current source gives a transfer curve that is
-periodic in the input voltage (a "universal literal gate" in multiple-valued
-logic terms); adding a follower stage that sums the input with the scaled
-literal output turns it into a staircase quantizer.  Three active devices do
-the work of a CMOS flash quantizer with dozens of transistors — the paper's
-"pack more functionality into less devices and less chip area".
+periodic in the input voltage; a follower stage turns it into a staircase
+quantizer — three active devices doing the work of a CMOS flash quantizer
+with dozens of transistors.  The registered ``setmos_quantizer`` scenario
+measures the staircase.  Equivalent CLI::
 
-Run with::
-
-    python examples/setmos_quantizer.py
+    python -m repro run setmos_quantizer
 """
 
-import numpy as np
-
-from repro.compact import AnalyticSETModel, MOSFETModel
-from repro.hybrid import SETMOSQuantizer, SETMOSStack
-from repro.io import print_table
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    stack = SETMOSStack(
-        set_model=AnalyticSETModel(temperature=10.0),
-        mosfet_model=MOSFETModel(transconductance=2e-5, threshold_voltage=0.4),
-        supply_voltage=1.0,
-    )
-    quantizer = SETMOSQuantizer(stack=stack)
-    period = quantizer.input_period
-
-    print(f"SET gate period (step width): {period * 1e3:.1f} mV")
-    print(f"MOSFET bias voltage          : {stack.bias_voltage * 1e3:.1f} mV")
-    print(f"Stack power at mid input     : "
-          f"{stack.power_dissipation(0.5 * period) * 1e9:.2f} nW")
+    result = run_scenario("setmos_quantizer", log=print)
     print()
-
-    # The literal (sawtooth) characteristic of the raw SET-MOS stack.
-    inputs = np.linspace(0.0, 2.0 * period, 25)
-    _, literal = quantizer.literal_transfer(inputs)
-    print_table(
-        ["V_in [mV]", "V_literal [mV]"],
-        [[vin * 1e3, vout * 1e3] for vin, vout in zip(inputs[::3], literal[::3])],
-        title="Universal literal gate (periodic transfer curve)",
-    )
-    print()
-
-    # The quantized staircase over four periods.
-    analysis = quantizer.level_analysis(input_span_periods=4.0, points_per_period=16)
-    print_table(
-        ["level", "output [mV]"],
-        [[index, level * 1e3] for index, level in enumerate(analysis.levels)],
-        title="Quantizer output levels",
-    )
-    print()
-    print(f"levels detected        : {analysis.level_count}")
-    print(f"level spacing          : {analysis.separation * 1e3:.1f} mV "
-          f"(one per gate period)")
-    print(f"spacing uniformity     : {analysis.uniformity:.2f}")
-    print(f"staircase monotonicity : "
-          f"{quantizer.staircase_quality(4.0, 16) * 100.0:.0f} %")
-    print()
-    print_table(
-        ["implementation", "active devices"],
-        [
-            ["SET-MOS quantizer (this work)", quantizer.device_count],
-            ["CMOS flash quantizer, same levels",
-             quantizer.cmos_equivalent_device_count(4.0)],
-        ],
-        title="Device-count comparison",
-    )
-    print(f"\nDevice-count advantage: {quantizer.device_advantage(4.0):.0f}x")
+    result.print()
+    print(f"\n{result.metric('level_count'):.0f} levels, "
+          f"{result.metric('set_device_count'):.0f} SET-MOS devices versus "
+          f"{result.metric('cmos_device_count'):.0f} CMOS equivalents")
 
 
 if __name__ == "__main__":

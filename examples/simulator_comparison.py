@@ -1,129 +1,25 @@
-"""Comparing the two simulator families the paper describes (its §4).
+"""Comparing the simulator families the paper describes (its §4).
 
-"The SPICE based simulators have the advantage to simulate large circuits in a
-well known and familiar tool environment, but are not yet able to deal with
-interacting SETs or other sometimes important physics such as higher-order
-tunnelling effects [...].  Detailed Monte-Carlo simulators, such as SIMON,
-capture all the necessary physics but are limited in terms of circuit size."
+SPICE-style compact models are fast but miss co-tunnelling and SET-SET
+interaction; detailed engines capture the full physics but pay for it in
+runtime.  The registered ``simulator_comparison`` scenario sweeps one SET
+through the analytic, master-equation, and Monte-Carlo engines and then
+demonstrates the two physics gaps of the compact model.  Equivalent CLI::
 
-This example runs the same single-electron transistor through the package's
-three engines — the analytic compact model (SPICE style), the master-equation
-solver and the kinetic Monte-Carlo simulator — and then shows the two effects
-only the detailed engines capture: co-tunnelling leakage inside the blockade
-and the interaction of two SETs sharing charge.
-
-Run with::
-
-    python examples/simulator_comparison.py
+    python -m repro run simulator_comparison
 """
 
-import time
-
-import numpy as np
-
-from repro.compact import AnalyticSETModel
-from repro.constants import E_CHARGE
-from repro.devices import SETTransistor
-from repro.io import print_table
-from repro.master import MasterEquationSolver
-from repro.montecarlo import MonteCarloSimulator
-
-from repro.circuit import Circuit
-
-
-def single_set_comparison() -> None:
-    device = SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
-                           junction_resistance=1e6)
-    temperature = 2.0
-    gate_voltages = np.linspace(0.0, 2.0 * device.gate_period, 33)
-    drain_voltage = 5e-3
-
-    timings = {}
-    start = time.perf_counter()
-    compact_model = AnalyticSETModel(temperature=temperature)
-    compact = np.array([compact_model.drain_current(drain_voltage, vg)
-                        for vg in gate_voltages])
-    timings["compact (SPICE-style)"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    _, master = device.id_vg(gate_voltages, drain_voltage, temperature)
-    timings["master equation"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    monte_carlo = np.empty_like(gate_voltages)
-    simulator = MonteCarloSimulator(
-        device.build_circuit(drain_voltage=drain_voltage), temperature=temperature,
-        seed=3)
-    _, monte_carlo, _ = simulator.sweep_source("VG", gate_voltages, "J_drain",
-                                               max_events=2_000, warmup_events=200)
-    timings["kinetic Monte Carlo"] = time.perf_counter() - start
-
-    reference = master.max()
-    rows = []
-    for label, currents in (("compact (SPICE-style)", compact),
-                            ("master equation", master),
-                            ("kinetic Monte Carlo", monte_carlo)):
-        error = np.sqrt(np.mean((currents - master) ** 2)) / reference
-        rows.append([label, timings[label] * 1e3, error * 100.0])
-    print_table(
-        ["engine", "runtime [ms]", "RMS deviation from master [%]"],
-        rows,
-        title="Same SET Id-Vg sweep through the three engines",
-    )
-
-
-def cotunneling_gap() -> None:
-    device = SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
-                           junction_resistance=1e6)
-    bias = 0.6 * device.blockade_voltage
-    compact = AnalyticSETModel(temperature=0.0).drain_current(bias, 0.0)
-    sequential = MonteCarloSimulator(
-        device.build_circuit(drain_voltage=bias), temperature=0.0, seed=1,
-        include_cotunneling=False).stationary_current("J_drain", max_events=1_000,
-                                                      warmup_events=0)
-    cotunneling = MonteCarloSimulator(
-        device.build_circuit(drain_voltage=bias), temperature=0.0, seed=1,
-        include_cotunneling=True).stationary_current("J_drain", max_events=1_000,
-                                                     warmup_events=0)
-    print()
-    print_table(
-        ["engine", "current deep in the blockade [A]"],
-        [
-            ["compact model (no co-tunnelling)", compact],
-            ["Monte Carlo, sequential only", sequential.mean],
-            ["Monte Carlo, with co-tunnelling", cotunneling.mean],
-        ],
-        title=f"Vd = {bias * 1e3:.0f} mV (60 % of the blockade voltage), T = 0",
-    )
-
-
-def interacting_sets() -> None:
-    """Two islands in series: the compact model has no concept of their interaction."""
-    circuit = Circuit("interacting")
-    circuit.add_island("dot_a")
-    circuit.add_island("dot_b")
-    circuit.add_voltage_source("VL", "lead", 0.1)
-    circuit.add_voltage_source("VG", "gate", 0.0)
-    circuit.add_junction("J_left", "lead", "dot_a", 1e-18, 1e6)
-    circuit.add_junction("J_mid", "dot_a", "dot_b", 0.5e-18, 1e6)
-    circuit.add_junction("J_right", "dot_b", "gnd", 1e-18, 1e6)
-    circuit.add_capacitor("C_ga", "gate", "dot_a", 0.5e-18)
-    circuit.add_capacitor("C_gb", "gate", "dot_b", 0.5e-18)
-
-    solver = MasterEquationSolver(circuit, temperature=2.0, extra_electrons=2)
-    solution = solver.solve()
-    print()
-    print("Interacting double-SET (series double island), master equation:")
-    print(f"  current through the chain : {solution.current('J_left') * 1e9:.3f} nA")
-    print(f"  charge states tracked     : {solution.state_count}")
-    print("  (The non-interacting compact model cannot describe this circuit;")
-    print("   the paper's conclusion: combine both simulator types.)")
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    single_set_comparison()
-    cotunneling_gap()
-    interacting_sets()
+    result = run_scenario("simulator_comparison", log=print)
+    print()
+    result.print()
+    speedup = result.metric("runtime_s_master") / result.metric("runtime_s_compact")
+    print(f"\ncompact model is {speedup:.0f}x faster than the master equation, "
+          f"but blind to the {result.metric('cotunneling_leak_A'):.2e} A "
+          "co-tunnelling leak")
 
 
 if __name__ == "__main__":

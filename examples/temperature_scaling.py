@@ -1,84 +1,23 @@
 """How small must a single-electron device be? (paper §2)
 
 "Achieving room temperature operation requires structures in the few
-nanometre regime."  This example walks the electrostatic argument: island
-size -> capacitance -> charging energy -> maximum operating temperature, and
-shows the same washing-out of the Coulomb oscillations directly with the
-compact SET model.  It also prints the gain/temperature trade-off: raising the
-voltage gain Cg/Cj adds gate capacitance and therefore lowers the usable
-temperature.
+nanometre regime."  The registered ``room_temperature_set`` scenario walks
+the electrostatic argument — island size -> capacitance -> charging energy ->
+maximum operating temperature — and shows the washing-out of the Coulomb
+oscillations directly with the compact SET model.  Equivalent CLI::
 
-Run with::
-
-    python examples/temperature_scaling.py
+    python -m repro run room_temperature_set
 """
 
-import numpy as np
-
-from repro.analysis import (
-    diameter_for_temperature,
-    simulated_oscillation_visibility,
-    temperature_scaling_table,
-)
-from repro.compact import AnalyticSETModel
-from repro.io import print_table
-from repro.logic import gain_temperature_tradeoff
-from repro.units import nanometre
-
-
-def island_size_table() -> None:
-    diameters = [nanometre(d) for d in (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)]
-    rows = []
-    for row in temperature_scaling_table(diameters, margin=10.0):
-        rows.append([
-            row.diameter * 1e9,
-            row.total_capacitance * 1e18,
-            row.charging_energy / 1.602176634e-19 * 1e3,
-            row.max_temperature,
-            row.room_temperature_ok,
-        ])
-    print_table(
-        ["island diameter [nm]", "C_sigma [aF]", "E_C [meV]", "T_max [K]",
-         "room temperature?"],
-        rows,
-        title="Island size versus operating temperature (E_C >= 10 kT criterion)",
-    )
-    limit = diameter_for_temperature(300.0, margin=10.0)
-    print(f"\nLargest island usable at 300 K: {limit * 1e9:.1f} nm "
-          "-- the paper's 'few nanometre regime'.")
-
-
-def oscillation_washout() -> None:
-    print()
-    rows = []
-    for temperature in (0.3, 1.0, 4.2, 20.0, 77.0, 300.0):
-        model = AnalyticSETModel(temperature=temperature)
-        visibility = simulated_oscillation_visibility(model, temperature)
-        rows.append([temperature, visibility])
-    print_table(
-        ["temperature [K]", "oscillation visibility (Imax-Imin)/(Imax+Imin)"],
-        rows,
-        title="Thermal washout of the Coulomb oscillations (4 aF island)",
-    )
-
-
-def gain_versus_temperature() -> None:
-    print()
-    rows = []
-    for row in gain_temperature_tradeoff(1e-18, gains=[0.5, 1.0, 2.0, 4.0, 8.0]):
-        rows.append([row.gain, row.gate_capacitance * 1e18,
-                     row.total_capacitance * 1e18, row.max_operating_temperature])
-    print_table(
-        ["voltage gain Cg/Cj", "Cg [aF]", "C_sigma [aF]", "T_max [K]"],
-        rows,
-        title="The price of gain: more gate capacitance, lower operating temperature",
-    )
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    island_size_table()
-    oscillation_washout()
-    gain_versus_temperature()
+    result = run_scenario("room_temperature_set", log=print)
+    print()
+    result.print()
+    print(f"\nlargest island usable at 300 K: "
+          f"{result.metric('diameter_limit_300K_m') * 1e9:.2f} nm")
 
 
 if __name__ == "__main__":

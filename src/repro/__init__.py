@@ -10,6 +10,17 @@ immune AM/FM coded logic), and the hybrid applications the paper highlights
 
 Quickstart
 ----------
+The highest-level entry point is the scenario layer: every canonical paper
+experiment is a registered, declaratively specified workload that runs
+through the right engine and a content-hash result cache (see ``README.md``
+and ``docs/scenarios.md``):
+
+>>> from repro.scenarios import run_scenario
+>>> result = run_scenario("coulomb_oscillations")  # doctest: +SKIP
+
+or, from a shell, ``python -m repro run coulomb_oscillations``.  The layers
+underneath remain directly usable:
+
 >>> from repro.devices import SETTransistor
 >>> from repro.master import MasterEquationSolver
 >>> set_device = SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro {run,list,describe,compare}``.
+
+The CLI is a thin shell over :mod:`repro.scenarios`:
+
+* ``list`` — every registered scenario with its engine and title;
+* ``describe NAME`` — the full spec (device, sweeps, observables, budget)
+  plus the paper claim and expected outputs;
+* ``run NAME [NAME ...]`` — execute scenarios end-to-end through the result
+  cache (``--no-cache`` forces recompute, ``--engine`` overrides the spec,
+  ``--spec FILE`` runs a JSON/TOML spec document, ``--all`` runs the whole
+  registry);
+* ``compare NAME`` — run one scenario under several engines and tabulate
+  the metrics side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .errors import ReproError
+from .io.tables import format_table
+from .scenarios import (
+    ENGINES,
+    ScenarioRunner,
+    ScenarioSpec,
+    default_cache_dir,
+    get_scenario,
+    iter_scenarios,
+    scenario_names,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Single-electronics scenario runner "
+                    "(Wasshuber03 reproduction).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="list every registered scenario")
+    list_parser.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+
+    describe_parser = commands.add_parser(
+        "describe", help="show one scenario's spec and expected outputs")
+    describe_parser.add_argument("name", help="registered scenario name")
+    describe_parser.add_argument("--json", action="store_true",
+                                 help="machine-readable output")
+
+    run_parser = commands.add_parser(
+        "run", help="run scenarios end-to-end (cache-aware)")
+    run_parser.add_argument("names", nargs="*", metavar="NAME",
+                            help="registered scenario names")
+    run_parser.add_argument("--all", action="store_true",
+                            help="run every registered scenario")
+    run_parser.add_argument("--spec", metavar="FILE",
+                            help="run a JSON/TOML spec document instead of "
+                                 "a registered spec")
+    run_parser.add_argument("--engine", choices=ENGINES,
+                            help="override the spec's engine")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="always recompute; never read or write "
+                                 "the result cache")
+    run_parser.add_argument("--cache-dir", metavar="DIR",
+                            help=f"result-cache directory "
+                                 f"(default: {default_cache_dir()})")
+    run_parser.add_argument("--json", action="store_true",
+                            help="print the result payload as JSON")
+    run_parser.add_argument("--quiet", action="store_true",
+                            help="suppress progress logging")
+
+    compare_parser = commands.add_parser(
+        "compare", help="run one scenario under several engines")
+    compare_parser.add_argument("name", help="registered scenario name")
+    compare_parser.add_argument(
+        "--engines", default="analytic,master,montecarlo",
+        help="comma-separated engines to compare "
+             "(default: analytic,master,montecarlo)")
+    compare_parser.add_argument("--no-cache", action="store_true",
+                                help="always recompute")
+    compare_parser.add_argument("--cache-dir", metavar="DIR",
+                                help="result-cache directory")
+    return parser
+
+
+def _log(message: str) -> None:
+    """Progress line on stderr (stdout stays machine-readable)."""
+    print(message, file=sys.stderr)
+
+
+def _command_list(arguments) -> int:
+    """Implement ``repro list``."""
+    scenarios = iter_scenarios()
+    if arguments.json:
+        print(json.dumps([{"name": s.name, "engine": s.spec.engine,
+                           "title": s.title} for s in scenarios], indent=2))
+        return 0
+    print(format_table(
+        ["scenario", "engine", "title"],
+        [[s.name, s.spec.engine, s.title] for s in scenarios],
+        title=f"{len(scenarios)} registered scenarios"))
+    return 0
+
+
+def _command_describe(arguments) -> int:
+    """Implement ``repro describe``."""
+    scenario = get_scenario(arguments.name)
+    spec = scenario.spec
+    if arguments.json:
+        print(json.dumps({"spec": spec.to_dict(), "title": scenario.title,
+                          "claim": scenario.claim,
+                          "expected": list(scenario.expected),
+                          "engines": list(scenario.allowed_engines()),
+                          "spec_hash": spec.content_hash()}, indent=2))
+        return 0
+    print(f"{scenario.name} — {scenario.title}")
+    print(f"\nclaim: {scenario.claim}")
+    print(f"\nengine: {spec.engine}   temperature: {spec.temperature} K   "
+          f"seed: {spec.seed}")
+    print(f"dispatchable engines: {', '.join(scenario.allowed_engines())}")
+    if spec.device:
+        print("device:")
+        for key, value in sorted(spec.device.items()):
+            print(f"  {key} = {value!r}")
+    if spec.sweeps:
+        print("sweeps:")
+        for axis in spec.sweeps:
+            if axis.values is not None:
+                print(f"  {axis.source}: {len(axis.values)} explicit values "
+                      f"[{axis.unit}]")
+            else:
+                print(f"  {axis.source}: {axis.points} points in "
+                      f"[{axis.start:g}, {axis.stop:g}] [{axis.unit}]")
+    budget = spec.budget
+    print(f"budget: max_events={budget.max_events} "
+          f"warmup_events={budget.warmup_events} "
+          f"replicas={budget.replicas} workers={budget.workers}")
+    if spec.params:
+        print("params:")
+        for key, value in sorted(spec.params.items()):
+            print(f"  {key} = {value!r}")
+    print(f"observables: {', '.join(spec.observables)}")
+    if scenario.expected:
+        print("expected outputs:")
+        for line in scenario.expected:
+            print(f"  - {line}")
+    print(f"spec hash: {spec.content_hash()}")
+    return 0
+
+
+def _command_run(arguments) -> int:
+    """Implement ``repro run``."""
+    runner = ScenarioRunner(use_cache=not arguments.no_cache,
+                            cache_dir=arguments.cache_dir,
+                            log=None if arguments.quiet else _log)
+    names: List[str] = list(arguments.names)
+    if arguments.all:
+        names = scenario_names()
+    if arguments.spec:
+        if names:
+            print("--spec conflicts with scenario names / --all: give one "
+                  "or the other", file=sys.stderr)
+            return 2
+        spec = ScenarioSpec.load(arguments.spec)
+        results = [runner.run_spec(spec, engine=arguments.engine)]
+    elif not names:
+        print("nothing to run: give scenario names, --all, or --spec FILE",
+              file=sys.stderr)
+        return 2
+    else:
+        results = [runner.run(name, engine=arguments.engine)
+                   for name in names]
+    if arguments.json:
+        payloads = []
+        for result in results:
+            payload = result.payload_dict()
+            payload["meta"] = dict(result.meta)
+            payloads.append(payload)
+        # One result prints as an object; several as one parseable array.
+        document = payloads[0] if len(payloads) == 1 else payloads
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    for result in results:
+        print(f"=== {result.name} [engine={result.engine}, "
+              f"cache={result.meta.get('cache', '?')}] ===")
+        result.print()
+        print()
+    return 0
+
+
+def _command_compare(arguments) -> int:
+    """Implement ``repro compare``."""
+    engines = [engine.strip() for engine in arguments.engines.split(",")
+               if engine.strip()]
+    for engine in engines:
+        if engine not in ENGINES or engine == "auto":
+            print(f"cannot compare on engine {engine!r}; choose from "
+                  f"{[e for e in ENGINES if e != 'auto']}", file=sys.stderr)
+            return 2
+    scenario = get_scenario(arguments.name)
+    allowed = scenario.allowed_engines()
+    unsupported = [engine for engine in engines if engine not in allowed]
+    if unsupported:
+        print(f"scenario {arguments.name!r} dispatches only on "
+              f"{sorted(allowed)}; cannot compare on {unsupported} "
+              "(its compute is pinned, so per-engine runs would be "
+              "identical recomputations)", file=sys.stderr)
+        return 2
+    runner = ScenarioRunner(use_cache=not arguments.no_cache,
+                            cache_dir=arguments.cache_dir, log=_log)
+    results = {engine: runner.run(arguments.name, engine=engine)
+               for engine in engines}
+    metric_names = sorted(set().union(
+        *(result.metrics for result in results.values())))
+    rows = []
+    for metric in metric_names:
+        rows.append([metric] + [results[engine].metrics.get(metric, "-")
+                                for engine in engines])
+    print(format_table(["metric"] + engines, rows,
+                       title=f"{arguments.name}: metrics by engine"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {"list": _command_list, "describe": _command_describe,
+                "run": _command_run, "compare": _command_compare}
+    try:
+        return handlers[arguments.command](arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+__all__ = ["build_parser", "main"]

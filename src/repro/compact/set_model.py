@@ -154,9 +154,19 @@ class AnalyticSETModel:
                           source_voltage: float = 0.0) -> np.ndarray:
         """Dense ``(drain, gate)`` current map in one broadcast evaluation.
 
-        Returns an array of shape ``(len(drain_voltages),
-        len(gate_voltages))`` — the layout
-        :func:`repro.analysis.stability.compute_stability_diagram` consumes.
+        Parameters
+        ----------
+        drain_voltages, gate_voltages:
+            The map axes, in volt.
+        source_voltage:
+            Fixed source potential, in volt.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(len(drain_voltages), len(gate_voltages))`` — the layout
+            :func:`repro.analysis.stability.compute_stability_diagram`
+            consumes.
         """
         drain = np.asarray(drain_voltages, dtype=float).reshape(-1, 1)
         gate = np.asarray(gate_voltages, dtype=float).reshape(1, -1)
@@ -410,7 +420,19 @@ class MasterEquationSETModel:
         :class:`~repro.master.transitions.TransitionTable` serve the whole
         grid (per point only the rates are refreshed and one linear system is
         solved), so dense maps no longer pay a full solver construction per
-        pixel.  Returns shape ``(len(drain_voltages), len(gate_voltages))``.
+        pixel.
+
+        Parameters
+        ----------
+        drain_voltages, gate_voltages:
+            The map axes, in volt.
+        source_voltage:
+            Fixed source potential, in volt.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(len(drain_voltages), len(gate_voltages))``.
         """
         from ..master.steadystate import MasterEquationSolver
 
@@ -493,7 +515,20 @@ class TunableSETModel:
 
     def drain_current_map(self, drain_voltages, gate_voltages,
                           source_voltage: float = 0.0) -> np.ndarray:
-        """Dense ``(drain, gate)`` current map of the underlying model."""
+        """Dense ``(drain, gate)`` current map of the underlying model.
+
+        Parameters
+        ----------
+        drain_voltages, gate_voltages:
+            The map axes, in volt.
+        source_voltage:
+            Fixed source potential, in volt.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(len(drain_voltages), len(gate_voltages))``.
+        """
         return self._model.drain_current_map(drain_voltages, gate_voltages,
                                              source_voltage)
 

@@ -1,7 +1,14 @@
-"""Result containers and table formatting."""
+"""Result containers, the content-hash result cache, and table formatting."""
 
-from .results import ExperimentRecord, SweepRecord
+from .results import (
+    CACHE_FORMAT_VERSION,
+    ExperimentRecord,
+    ResultCache,
+    SweepRecord,
+    content_hash,
+)
 from .tables import format_table, format_value, print_table
 
-__all__ = ["ExperimentRecord", "SweepRecord", "format_table", "format_value",
+__all__ = ["CACHE_FORMAT_VERSION", "ExperimentRecord", "ResultCache",
+           "SweepRecord", "content_hash", "format_table", "format_value",
            "print_table"]

@@ -1,16 +1,26 @@
-"""Result containers with CSV round-trips.
+"""Result containers with CSV round-trips and a content-hash result cache.
 
 Sweep-style results (a swept variable plus one or more recorded traces) are
 the common currency of every experiment in the package.  :class:`SweepRecord`
 stores them with metadata and serialises to/from CSV so benchmark outputs can
 be archived and re-plotted without re-running the simulation.
+
+:class:`ResultCache` persists arbitrary JSON payloads keyed by a content hash
+(plus a code-version tag): the scenario layer hashes a
+:class:`~repro.scenarios.spec.ScenarioSpec` and a cache hit means the engine
+dispatch is skipped entirely.  Writes are atomic (temp file +
+``os.replace``), so concurrent writers cannot corrupt an artifact, and a
+corrupted or truncated artifact is treated as a miss and evicted.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
@@ -169,4 +179,156 @@ class ExperimentRecord:
                    verdict=payload.get("verdict", ""))
 
 
-__all__ = ["SweepRecord", "ExperimentRecord"]
+#: Bump when the on-disk artifact layout changes; folded into every cache key
+#: so stale-format artifacts read as misses instead of parse errors.
+CACHE_FORMAT_VERSION = 1
+
+
+def content_hash(payload: Union[str, bytes, Mapping]) -> str:
+    """SHA-256 content hash of a string, bytes, or JSON-able mapping.
+
+    Mappings are canonicalised (sorted keys, compact separators) before
+    hashing, so two dicts with the same content but different insertion
+    order hash identically.
+
+    Parameters
+    ----------
+    payload:
+        The content to fingerprint.
+
+    Returns
+    -------
+    str
+        Hex digest of the canonical representation.
+    """
+    if isinstance(payload, Mapping):
+        payload = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed JSON artifact store (spec hash -> result payload).
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifacts (created on first use).
+    code_version:
+        Version tag folded into every key.  Defaults to the package version
+        plus :data:`CACHE_FORMAT_VERSION`, so upgrading the package or the
+        artifact format invalidates the whole cache instead of serving
+        results computed by older code.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 code_version: Optional[str] = None) -> None:
+        from .. import __version__
+
+        self.root = Path(root)
+        self.code_version = code_version if code_version is not None \
+            else f"{__version__}+fmt{CACHE_FORMAT_VERSION}"
+
+    def key_for(self, spec_hash: str) -> str:
+        """Cache key for a spec content hash under the current code version."""
+        return content_hash(f"{self.code_version}:{spec_hash}")
+
+    def path_for(self, key: str) -> Path:
+        """Artifact path for a cache key."""
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict]:
+        """Load the payload stored under ``key``; ``None`` on miss.
+
+        A corrupted artifact (truncated write from a crashed process, manual
+        edit, disk fault) is evicted and reported as a miss so the caller
+        recomputes instead of crashing.
+
+        Parameters
+        ----------
+        key:
+            Cache key from :meth:`key_for`.
+
+        Returns
+        -------
+        dict or None
+            The stored payload, or ``None`` when absent or unreadable.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        except UnicodeDecodeError:
+            # Binary corruption (disk fault, partial write): evict + miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, ValueError):
+            # Corrupted artifact: evict (best effort) and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def store(self, key: str, payload: Mapping) -> Path:
+        """Persist ``payload`` under ``key`` atomically.
+
+        The payload is written to a temporary file in the cache directory
+        and moved into place with ``os.replace``, so readers never observe
+        a half-written artifact and the last concurrent writer wins cleanly.
+
+        Parameters
+        ----------
+        key:
+            Cache key from :meth:`key_for`.
+        payload:
+            JSON-serialisable mapping to store.
+
+        Returns
+        -------
+        pathlib.Path
+            The artifact path.
+        """
+        path = self.path_for(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=f".{key[:16]}-", suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(text)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+__all__ = ["CACHE_FORMAT_VERSION", "ExperimentRecord", "ResultCache",
+           "SweepRecord", "content_hash"]

@@ -126,6 +126,13 @@ class MonteCarloSimulator:
         occupation:
             Optional :class:`OccupationStatistics` accumulator filled with
             dwell times.
+
+        Returns
+        -------
+        TrajectoryResult
+            Elapsed simulated time, executed events, per-junction electron
+            transfers, the final configuration, and (when requested) the
+            per-event records.
         """
         if max_events is None and duration is None:
             raise SimulationError("specify max_events and/or duration")
@@ -219,6 +226,14 @@ class MonteCarloSimulator:
         ensemble:
             Continue from an existing :class:`EnsembleState` instead of a
             fresh ground-state ensemble.
+
+        Returns
+        -------
+        EnsembleResult
+            Per-replica durations, event counts, per-junction electron
+            transfers, and final configurations; its
+            :meth:`~repro.montecarlo.observables.EnsembleResult.current_estimate`
+            turns the replica spread into an error bar.
         """
         if max_events is None and duration is None:
             raise SimulationError("specify max_events and/or duration")
@@ -315,6 +330,12 @@ class MonteCarloSimulator:
             Optional replica count; ``None`` (default) runs the scalar
             block-averaged estimator, values >= 2 run the ensemble
             estimator.
+
+        Returns
+        -------
+        CurrentEstimate
+            Mean current in ampere with its standard error, plus the block
+            count, simulated duration, and executed events behind it.
         """
         self._check_estimator_args(junction_name, blocks)
         if replicas is not None:
@@ -422,7 +443,11 @@ class MonteCarloSimulator:
             trajectory; with ``warm_start`` the whole ensemble is carried
             from one bias point to the next.
 
-        Returns ``(values, currents, stderrs)``.
+        Returns
+        -------
+        (values, currents, stderrs):
+            The applied bias values, the estimated currents in ampere, and
+            their standard errors, as equal-length float arrays.
         """
         self._check_estimator_args(junction_name, blocks=10)
         if ensemble is not None and ensemble < 2:

@@ -1,0 +1,53 @@
+"""Declarative scenarios: config-driven workloads over every engine.
+
+This package is the cross-engine orchestration layer: a
+:class:`~repro.scenarios.spec.ScenarioSpec` declares *what* to run (device,
+engine, sweeps, observables, seed, budget), the registry maps names to the
+~10 canonical paper scenarios, and the
+:class:`~repro.scenarios.runner.ScenarioRunner` executes specs through the
+right engine fast path while persisting results in the content-hash cache of
+:mod:`repro.io.results` — a second run of the same spec is served from disk
+without dispatching any engine.
+
+Quickstart
+----------
+>>> from repro.scenarios import run_scenario
+>>> result = run_scenario("coulomb_oscillations")
+>>> result.metric("gate_period_theory_V")  # doctest: +SKIP
+0.0801...
+
+The same entry point powers the CLI: ``python -m repro run
+coulomb_oscillations``.
+"""
+
+from .engines import EngineContext, select_engine
+from .registry import (
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from .result import ResultTable, ScenarioResult
+from .runner import ScenarioRunner, default_cache_dir
+from .spec import Budget, ENGINES, ScenarioSpec, SweepAxis
+
+__all__ = [
+    "Budget",
+    "ENGINES",
+    "EngineContext",
+    "ResultTable",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SweepAxis",
+    "default_cache_dir",
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+    "select_engine",
+]

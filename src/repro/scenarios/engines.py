@@ -1,0 +1,227 @@
+"""Engine selection and cross-engine dispatch for scenario runs.
+
+This is the first layer that sees all four engines at once.  It owns two
+things:
+
+* :func:`select_engine` — the documented heuristic that resolves
+  ``engine="auto"`` for a spec (see ``docs/engines.md`` for the crossover
+  numbers behind the rules);
+* :class:`EngineContext` — the execution context handed to every scenario
+  compute function.  Its :meth:`EngineContext.id_vg` runs a gate sweep
+  through whichever engine was selected, always on that engine's fast path:
+  structure-reusing sweeps for the master equation, warm-started
+  event-table-carrying sweeps for Monte Carlo, batched replicas for the
+  ensemble engine, and one broadcast evaluation for the analytic model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..devices.set_transistor import (
+    DRAIN_JUNCTION,
+    GATE_SOURCE,
+    SETTransistor,
+)
+from ..errors import ValidationError
+from .spec import ENGINES, ScenarioSpec
+
+#: Observable name fragments that mark a scenario as intrinsically
+#: stochastic: it needs trajectories / error bars, so only the Monte-Carlo
+#: family can produce it.
+_STOCHASTIC_MARKERS = ("stderr", "noise", "bits", "entropy", "telegraph",
+                      "trajectory")
+
+#: Above this many sweep points the smooth analytic model is preferred for
+#: ``auto`` scenarios that tolerate the sequential-tunnelling approximation
+#: (compact sweeps cost microseconds per point versus milliseconds for a
+#: master-equation solve — the ~100x gap measured in BENCH_master.json).
+_ANALYTIC_POINT_CUTOFF = 4096
+
+
+def analytic_model_for(device: SETTransistor, temperature: float,
+                       background_charge: Optional[float] = None):
+    """The compact-model twin of a :class:`SETTransistor`.
+
+    One place owns the parameter mapping (junction/gate capacitances,
+    resistances, offset charge), so the ``analytic`` engine path and
+    scenarios that build compact models directly cannot drift apart.
+
+    Parameters
+    ----------
+    device:
+        The SET whose parameters to mirror.
+    temperature:
+        Model temperature in kelvin.
+    background_charge:
+        Optional override of the device's offset charge, in coulomb.
+
+    Returns
+    -------
+    repro.compact.set_model.AnalyticSETModel
+        The equivalent analytic model.
+    """
+    from ..compact.set_model import AnalyticSETModel
+
+    return AnalyticSETModel(
+        drain_capacitance=device.c_drain,
+        source_capacitance=device.c_source,
+        gate_capacitance=device.gate_capacitance,
+        drain_resistance=device.r_drain,
+        source_resistance=device.r_source,
+        background_charge=(device.background_charge
+                           if background_charge is None
+                           else background_charge),
+        temperature=float(temperature))
+
+
+def select_engine(spec: ScenarioSpec) -> str:
+    """Resolve a spec's engine request to a concrete engine name.
+
+    The heuristic, in priority order:
+
+    1. an explicit engine request wins;
+    2. stochastic observables (``*stderr*``, ``*noise*``, ``*bits*``, ...)
+       need trajectories: ``ensemble`` when the budget carries >= 2
+       replicas (replica spread beats block averaging at equal cost),
+       otherwise ``montecarlo``;
+    3. very large sweeps (> 4096 points) that a scenario marked as
+       approximation-tolerant (``params["fidelity"] == "fast"``) go to the
+       ``analytic`` compact model;
+    4. everything else gets the ``master`` equation — exact sequential
+       tunnelling, and its sparse structure-reusing path keeps even
+       10^4-state windows routine.
+
+    Parameters
+    ----------
+    spec:
+        The scenario spec to resolve.
+
+    Returns
+    -------
+    str
+        One of ``"montecarlo"``, ``"ensemble"``, ``"master"``,
+        ``"analytic"``.
+    """
+    if spec.engine != "auto":
+        return spec.engine
+    observed = " ".join(spec.observables).lower()
+    if any(marker in observed for marker in _STOCHASTIC_MARKERS):
+        return "ensemble" if spec.budget.replicas >= 2 else "montecarlo"
+    total_points = 1
+    for axis in spec.sweeps:
+        total_points *= (len(axis.values) if axis.values is not None
+                         else max(axis.points, 1))
+    if (spec.params.get("fidelity") == "fast"
+            and total_points > _ANALYTIC_POINT_CUTOFF):
+        return "analytic"
+    return "master"
+
+
+class EngineContext:
+    """Execution context handed to every scenario compute function.
+
+    Parameters
+    ----------
+    spec:
+        The (engine-resolved or ``auto``) spec being run.
+    log:
+        Progress callback (the runner wires this to the CLI logger).
+    """
+
+    def __init__(self, spec: ScenarioSpec, log=None) -> None:
+        self.spec = spec
+        self.engine = select_engine(spec)
+        if self.engine not in ENGINES or self.engine == "auto":
+            raise ValidationError(f"unresolvable engine {self.engine!r}")
+        self._log = log
+
+    def log(self, message: str) -> None:
+        """Emit one progress line through the runner's logger."""
+        if self._log is not None:
+            self._log(message)
+
+    # ------------------------------------------------------------- dispatch
+
+    def transistor(self, **overrides) -> SETTransistor:
+        """Build the spec's SET device (``spec.device`` plus overrides)."""
+        parameters = dict(self.spec.device)
+        parameters.update(overrides)
+        return SETTransistor(**parameters)
+
+    def id_vg(self, device: SETTransistor, gate_voltages: Sequence[float],
+              drain_voltage: float,
+              temperature: Optional[float] = None,
+              background_charge: Optional[float] = None
+              ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Gate sweep of the drain current through the selected engine.
+
+        Every engine runs on its fast path: the analytic model evaluates the
+        whole sweep in one broadcast call, the master equation reuses its
+        transition-table structure across points, and the Monte-Carlo paths
+        carry a warm simulation state (and, for ``ensemble``, a batch of
+        replicas) from one bias point to the next.  Worker fan-out follows
+        ``spec.budget.workers``.
+
+        Parameters
+        ----------
+        device:
+            The SET to sweep.
+        gate_voltages:
+            Gate bias values, in volt.
+        drain_voltage:
+            Fixed drain bias, in volt.
+        temperature:
+            Override of ``spec.temperature``.
+        background_charge:
+            Optional island offset charge in coulomb.
+
+        Returns
+        -------
+        (gates, currents, stderrs):
+            Swept voltages, drain currents in ampere, and the per-point
+            standard errors (``None`` for the deterministic engines).
+        """
+        temperature = self.spec.temperature if temperature is None \
+            else float(temperature)
+        gates = np.asarray(gate_voltages, dtype=float)
+        budget = self.spec.budget
+        if self.engine == "analytic":
+            model = analytic_model_for(device, temperature,
+                                       background_charge=background_charge)
+            currents = model.drain_current_map([drain_voltage], gates)[0]
+            return gates, np.asarray(currents, dtype=float), None
+        if self.engine == "master":
+            from ..master.steadystate import MasterEquationSolver
+
+            circuit = device.build_circuit(
+                drain_voltage=drain_voltage,
+                gate_voltage=float(gates[0]),
+                background_charge=background_charge)
+            solver = MasterEquationSolver(circuit, temperature=temperature)
+            _, currents = solver.sweep_source(GATE_SOURCE, gates,
+                                              DRAIN_JUNCTION,
+                                              workers=budget.workers)
+            return gates, currents, None
+        # Monte-Carlo family (single trajectory or batched replicas).
+        from ..montecarlo.simulator import MonteCarloSimulator
+
+        circuit = device.build_circuit(drain_voltage=drain_voltage,
+                                       gate_voltage=float(gates[0]),
+                                       background_charge=background_charge)
+        simulator = MonteCarloSimulator(circuit, temperature=temperature,
+                                        seed=self.spec.seed)
+        replicas = None
+        if self.engine == "ensemble":
+            replicas = max(2, budget.replicas)
+        _, currents, stderrs = simulator.sweep_source(
+            GATE_SOURCE, gates, DRAIN_JUNCTION,
+            max_events=budget.max_events,
+            warmup_events=budget.warmup_events,
+            warm_start=True, workers=budget.workers, ensemble=replicas)
+        return gates, currents, stderrs
+
+
+__all__ = ["EngineContext", "analytic_model_for", "select_engine"]

@@ -1,0 +1,878 @@
+"""The canonical paper scenarios (E1-E10), registered declaratively.
+
+Each scenario bundles the workload of one `benchmarks/bench_e0*` experiment:
+the spec carries the device parameters, engine choice, sweep axes,
+observables, seed and budget; the compute function interprets the spec inside
+an :class:`~repro.scenarios.engines.EngineContext` and produces the metrics,
+tables and sweep records that the benchmarks assert on and the examples
+print.  ``docs/scenarios.md`` documents every entry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from ..constants import E_CHARGE
+from ..io.results import SweepRecord
+from .engines import EngineContext
+from .registry import Scenario, register_scenario
+from .result import ScenarioResult
+from .spec import Budget, ScenarioSpec, SweepAxis
+
+#: Parameters of the reference SET used by most scenarios (1 aF junctions,
+#: 2 aF gate, 1 Mohm junctions — the `standard_transistor` of old).
+STANDARD_DEVICE: Dict[str, float] = {
+    "junction_capacitance": 1e-18,
+    "gate_capacitance": 2e-18,
+    "junction_resistance": 1e6,
+}
+
+#: Coulomb-oscillation gate period e/Cg of the reference SET, in volt.
+STANDARD_GATE_PERIOD = E_CHARGE / STANDARD_DEVICE["gate_capacitance"]
+
+
+def _new_result(spec: ScenarioSpec, context: EngineContext) -> ScenarioResult:
+    """A fresh result shell for ``spec`` run under ``context``."""
+    return ScenarioResult(name=spec.name, engine=context.engine)
+
+
+# --------------------------------------------------------------------- E1
+
+def _compute_coulomb_oscillations(spec: ScenarioSpec,
+                                  context: EngineContext) -> ScenarioResult:
+    """Periodic Id-Vg; a background charge shifts the phase only."""
+    from ..analysis import analyze_oscillations, phase_shift_between
+
+    device = context.transistor()
+    gates = spec.axis("VG").grid()
+    drain_voltage = float(spec.params["drain_voltage"])
+    offsets = [float(f) for f in spec.params["offsets_in_e"]]
+
+    result = _new_result(spec, context)
+    result.metrics["gate_period_theory_V"] = device.gate_period
+    sweeps: Dict[float, np.ndarray] = {}
+    for fraction in offsets:
+        _, currents, _ = context.id_vg(device, gates, drain_voltage,
+                                       background_charge=fraction * E_CHARGE)
+        sweeps[fraction] = currents
+        result.records.append(SweepRecord(
+            name=f"id_vg_q{fraction:g}", sweep_label="V_gate [V]",
+            sweep_values=gates, traces={"I_drain [A]": currents},
+            metadata={"q0_e": f"{fraction:g}", "engine": context.engine}))
+
+    rows = []
+    for fraction, currents in sweeps.items():
+        analysis = analyze_oscillations(gates, currents)
+        result.metrics[f"period_V_q{fraction:g}"] = analysis.period
+        result.metrics[f"amplitude_A_q{fraction:g}"] = analysis.amplitude
+        result.metrics[f"phase_periods_q{fraction:g}"] = \
+            analysis.phase_in_periods()
+        rows.append([f"{fraction:.2f} e", analysis.period * 1e3,
+                     analysis.amplitude * 1e12, analysis.phase_in_periods()])
+    result.add_table(
+        ["q0", "period [mV]", "amplitude [pA]", "phase [periods]"], rows,
+        title=f"Coulomb oscillations (T = {spec.temperature} K, "
+              f"Vd = {drain_voltage * 1e3:g} mV, engine = {context.engine})")
+
+    reference = offsets[0]
+    for fraction in offsets:
+        if fraction == reference:
+            continue
+        shift = phase_shift_between(gates, sweeps[reference], sweeps[fraction])
+        expected = 2.0 * np.pi * fraction
+        mismatch = min(
+            abs((shift - expected + np.pi) % (2.0 * np.pi) - np.pi),
+            abs((shift + expected + np.pi) % (2.0 * np.pi) - np.pi),
+        )
+        result.metrics[f"phase_mismatch_rad_q{fraction:g}"] = mismatch
+    result.notes.append(
+        f"theoretical period e/Cg = {device.gate_period * 1e3:.2f} mV")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="coulomb_oscillations",
+        engine="auto",
+        temperature=1.0,
+        device=dict(STANDARD_DEVICE),
+        sweeps=(SweepAxis("VG", start=0.0, stop=3.0 * STANDARD_GATE_PERIOD,
+                          points=120, endpoint=False),),
+        observables=("period_V", "amplitude_A", "phase_periods",
+                     "phase_mismatch_rad"),
+        seed=1,
+        params={"drain_voltage": 2e-3,
+                "offsets_in_e": [0.0, 0.13, 0.25, 0.5]},
+    ),
+    compute=_compute_coulomb_oscillations,
+    supported_engines=("auto", "analytic", "master", "montecarlo",
+                       "ensemble"),
+    title="Coulomb oscillations: Id-Vg period = e/Cg",
+    claim="The Id-Vg characteristic is periodic with period e/Cg; a random "
+          "background charge shifts the phase only (paper S2/S3).",
+    expected=("one Id-Vg sweep record per background charge",
+              "period_V_q* equal to e/Cg within a few percent",
+              "amplitude_A_q* invariant under the background charge",
+              "phase_mismatch_rad_q* below ~0.35 rad"),
+))
+
+
+# --------------------------------------------------------------------- E2
+
+def _compute_background_charge_logic(spec: ScenarioSpec,
+                                     context: EngineContext) -> ScenarioResult:
+    """Direct-coded SET logic fails under background charges; AM/FM survives."""
+    from ..devices import AMFMSET
+    from ..logic import (
+        AMCodedSETLogic,
+        DirectCodedSETLogic,
+        FMCodedSETLogic,
+        bit_error_rate,
+    )
+
+    transistor = context.transistor()
+    amfm_params = dict(spec.params["amfm_device"])
+    amfm = AMFMSET(**amfm_params)
+    direct = DirectCodedSETLogic(transistor,
+                                 temperature=float(spec.params["direct_temperature"]))
+    fm = FMCodedSETLogic(amfm, drain_voltage=float(spec.params["fm_drain_voltage"]),
+                         temperature=spec.temperature, periods=3.0,
+                         points_per_period=16)
+    am = AMCodedSETLogic(amfm, drain_voltage=float(spec.params["am_drain_voltage"]),
+                         temperature=spec.temperature, periods=3.0,
+                         points_per_period=16)
+    amplitude = float(spec.params["offset_amplitude_e"])
+    runs = (
+        ("direct", direct, int(spec.params["direct_trials"])),
+        ("am", am, int(spec.params["modulated_trials"])),
+        ("fm", fm, int(spec.params["modulated_trials"])),
+    )
+    result = _new_result(spec, context)
+    rows = []
+    for label, logic, trials in runs:
+        rate = bit_error_rate(logic, trials=trials, amplitude=amplitude,
+                              seed=spec.seed)
+        result.metrics[f"error_rate_{label}"] = rate.error_rate
+        result.metrics[f"errors_{label}"] = rate.errors
+        result.metrics[f"decision_periods_{label}"] = rate.decision_periods
+        rows.append([rate.encoding, rate.trials, rate.errors,
+                     f"{rate.error_rate:.2f}", rate.decision_periods])
+    result.add_table(
+        ["coding", "trials", "errors", "bit error rate",
+         "periods per decision"], rows,
+        title="Bit-error rates under random background charges")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="background_charge_logic",
+        engine="master",
+        temperature=1.0,
+        device=dict(STANDARD_DEVICE),
+        observables=("error_rate_direct", "error_rate_am", "error_rate_fm",
+                     "decision_periods_direct", "decision_periods_am",
+                     "decision_periods_fm"),
+        seed=11,
+        params={
+            "amfm_device": {"junction_capacitance": 1e-18,
+                            "junction_resistance": 1e6,
+                            "gate_capacitance_low": 1.5e-18,
+                            "gate_capacitance_high": 3e-18},
+            "direct_temperature": 0.5,
+            "fm_drain_voltage": 2e-3,
+            "am_drain_voltage": 2e-2,
+            "direct_trials": 30,
+            "modulated_trials": 12,
+            "offset_amplitude_e": 0.5,
+        },
+    ),
+    compute=_compute_background_charge_logic,
+    title="Background-charge logic: direct coding breaks, AM/FM survives",
+    claim="A trapped charge can flip a directly coded state; coding into the "
+          "period or amplitude of the Id-Vg characteristic is background-"
+          "charge independent, at the price of being slower (paper S2).",
+    expected=("error_rate_direct well above zero",
+              "error_rate_am and error_rate_fm exactly zero",
+              "decision_periods_am/fm of several Id-Vg periods"),
+))
+
+
+# --------------------------------------------------------------------- E3
+
+def _compute_gain_vs_temperature(spec: ScenarioSpec,
+                                 context: EngineContext) -> ScenarioResult:
+    """Voltage gain = Cg/Cj; gain > 1 costs operating temperature."""
+    from ..devices import SETInverter
+    from ..logic import characterize_inverter, gain_temperature_tradeoff
+
+    junction_capacitance = float(spec.device["junction_capacitance"])
+    gains = [float(g) for g in spec.params["gains"]]
+    tradeoff = gain_temperature_tradeoff(junction_capacitance, gains=gains)
+
+    result = _new_result(spec, context)
+    rows = []
+    for row in tradeoff:
+        result.metrics[f"tmax_K_gain{row.gain:g}"] = \
+            row.max_operating_temperature
+        result.metrics[f"c_sigma_F_gain{row.gain:g}"] = row.total_capacitance
+        rows.append([row.gain, row.total_capacitance * 1e18,
+                     row.charging_energy / E_CHARGE * 1e3,
+                     row.max_operating_temperature])
+    result.add_table(
+        ["design gain Cg/Cj", "C_sigma [aF]", "E_C [meV]", "T_max [K]"], rows,
+        title="Analytic trade-off (single SET island, 40 kT criterion)")
+
+    measured_rows = []
+    for gain in (float(g) for g in spec.params["measured_gains"]):
+        inverter = SETInverter(
+            junction_capacitance=junction_capacitance,
+            gate_capacitance=gain * junction_capacitance,
+            junction_resistance=float(spec.device["junction_resistance"]))
+        period = E_CHARGE / inverter.gate_capacitance
+        inputs = np.linspace(0.0, 0.5 * period,
+                             int(spec.params["transfer_points"]))
+        vin, vout = inverter.transfer_curve(inputs,
+                                            temperature=spec.temperature)
+        metrics = characterize_inverter(vin, vout)
+        result.metrics[f"peak_gain_design{gain:g}"] = metrics.peak_gain
+        result.metrics[f"swing_V_design{gain:g}"] = metrics.swing
+        result.records.append(SweepRecord(
+            name=f"inverter_transfer_gain{gain:g}", sweep_label="V_in [V]",
+            sweep_values=vin, traces={"V_out [V]": vout},
+            metadata={"design_gain": f"{gain:g}"}))
+        measured_rows.append([gain, metrics.peak_gain, metrics.swing * 1e3])
+    result.add_table(
+        ["design gain Cg/Cj", "measured inverter peak gain",
+         "output swing [mV]"], measured_rows,
+        title=f"Complementary SET inverter, master equation at "
+              f"T = {spec.temperature} K")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="gain_vs_temperature",
+        engine="master",
+        temperature=0.2,
+        device=dict(STANDARD_DEVICE),
+        observables=("tmax_K_gain*", "peak_gain_design*", "swing_V_design*"),
+        seed=1,
+        params={"gains": [0.5, 1.0, 2.0, 4.0],
+                "measured_gains": [1.0, 4.0],
+                "transfer_points": 17},
+    ),
+    compute=_compute_gain_vs_temperature,
+    title="Voltage gain = Cg/Cj versus operating temperature",
+    claim="Gains > 1 have been reported but are associated with lower "
+          "operating temperatures due to increased total node capacitance "
+          "(paper S2).",
+    expected=("peak_gain_design4 above one and above peak_gain_design1",
+              "tmax_K_gain* strictly decreasing with the designed gain"),
+))
+
+
+# --------------------------------------------------------------------- E4
+
+def _compute_room_temperature_set(spec: ScenarioSpec,
+                                  context: EngineContext) -> ScenarioResult:
+    """Room-temperature operation requires few-nanometre structures."""
+    from ..analysis import (
+        diameter_for_temperature,
+        simulated_oscillation_visibility,
+        temperature_scaling_table,
+    )
+    from ..compact import AnalyticSETModel
+
+    diameters = [float(d) * 1e-9 for d in spec.params["diameters_nm"]]
+    margin = float(spec.params["margin"])
+    table = temperature_scaling_table(diameters, margin=margin)
+    limit = diameter_for_temperature(float(spec.params["target_temperature"]),
+                                     margin=margin)
+
+    result = _new_result(spec, context)
+    result.metrics["diameter_limit_300K_m"] = limit
+    rows = []
+    for row in table:
+        nm = round(row.diameter * 1e9, 3)
+        result.metrics[f"tmax_K_d{nm:g}nm"] = row.max_temperature
+        result.metrics[f"room_ok_d{nm:g}nm"] = float(row.room_temperature_ok)
+        rows.append([nm, row.total_capacitance * 1e18,
+                     row.charging_energy / E_CHARGE * 1e3,
+                     row.max_temperature, row.room_temperature_ok])
+    result.add_table(
+        ["diameter [nm]", "C_sigma [aF]", "E_C [meV]", "T_max [K]",
+         "300 K ok?"], rows,
+        title=f"Island size versus maximum operating temperature "
+              f"(E_C >= {margin:g} kT)")
+
+    visibility_rows = []
+    for temperature, total_capacitance in spec.params["visibility_cases"]:
+        temperature = float(temperature)
+        total_capacitance = float(total_capacitance)
+        model = AnalyticSETModel(
+            drain_capacitance=total_capacitance / 4.0,
+            source_capacitance=total_capacitance / 4.0,
+            gate_capacitance=total_capacitance / 2.0,
+            temperature=temperature)
+        visibility = simulated_oscillation_visibility(model, temperature)
+        key = f"visibility_{temperature:g}K_{total_capacitance * 1e18:g}aF"
+        result.metrics[key] = visibility
+        visibility_rows.append([temperature, total_capacitance * 1e18,
+                                visibility])
+    result.add_table(
+        ["temperature [K]", "C_sigma [aF]", "oscillation visibility"],
+        visibility_rows, title="Simulated Coulomb-oscillation visibility")
+    result.notes.append(
+        f"largest island usable at 300 K: {limit * 1e9:.2f} nm")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="room_temperature_set",
+        engine="analytic",
+        temperature=300.0,
+        observables=("diameter_limit_300K_m", "tmax_K_d*", "room_ok_d*",
+                     "visibility_*"),
+        seed=1,
+        params={"diameters_nm": [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0],
+                "margin": 10.0,
+                "target_temperature": 300.0,
+                "visibility_cases": [[4.2, 4e-18], [300.0, 4e-18],
+                                     [300.0, 0.3e-18]]},
+    ),
+    compute=_compute_room_temperature_set,
+    title="Room-temperature SET: few-nanometre islands required",
+    claim="Achieving room temperature operation requires structures in the "
+          "few nanometre regime (paper S2).",
+    expected=("diameter_limit_300K_m in the (sub-)few-nanometre range",
+              "room_ok only for the smallest islands",
+              "visibility collapse of a 4 aF island at 300 K"),
+))
+
+
+# --------------------------------------------------------------------- E5
+
+def _compute_setmos_quantizer(spec: ScenarioSpec,
+                              context: EngineContext) -> ScenarioResult:
+    """A SET-MOS series element implements multi-valued logic with 3 devices."""
+    from ..hybrid import SETMOSQuantizer, cmos_periodic_iv_device_count
+
+    span_periods = float(spec.params["span_periods"])
+    points_per_period = int(spec.params["points_per_period"])
+    quantizer = SETMOSQuantizer()
+    analysis = quantizer.level_analysis(input_span_periods=span_periods,
+                                        points_per_period=points_per_period)
+    monotonicity = quantizer.staircase_quality(span_periods, points_per_period)
+    cmos_devices = quantizer.cmos_equivalent_device_count(span_periods)
+
+    result = _new_result(spec, context)
+    result.metrics.update({
+        "level_count": float(analysis.level_count),
+        "level_separation_V": analysis.separation,
+        "level_uniformity": analysis.uniformity,
+        "staircase_monotonicity": monotonicity,
+        "input_period_V": quantizer.input_period,
+        "set_device_count": float(quantizer.device_count),
+        "cmos_device_count": float(cmos_devices),
+        "cmos_periodic_iv_devices":
+            float(cmos_periodic_iv_device_count(int(span_periods))),
+    })
+    result.add_table(
+        ["level", "output [mV]"],
+        [[index, level * 1e3] for index, level in enumerate(analysis.levels)],
+        title="Quantizer output levels")
+    result.add_table(
+        ["quantity", "value"],
+        [
+            [f"levels over {span_periods:g} input periods",
+             analysis.level_count],
+            ["level spacing [mV]", analysis.separation * 1e3],
+            ["spacing uniformity", analysis.uniformity],
+            ["staircase monotonicity", monotonicity],
+            ["SET-MOS active devices", quantizer.device_count],
+            ["CMOS flash equivalent devices", cmos_devices],
+            ["device-count advantage",
+             cmos_devices / quantizer.device_count],
+        ],
+        title="SET-MOS quantizer figures of merit")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="setmos_quantizer",
+        engine="analytic",
+        temperature=10.0,
+        observables=("level_count", "level_separation_V", "level_uniformity",
+                     "staircase_monotonicity", "set_device_count",
+                     "cmos_device_count"),
+        seed=1,
+        params={"span_periods": 4.0, "points_per_period": 16},
+    ),
+    compute=_compute_setmos_quantizer,
+    title="SET-MOS quantizer: multi-valued transfer with 3 devices",
+    claim="The series connection of a MOSFET and a SET realises a quantized "
+          "transfer characteristic; replicating the SET's periodic IV in "
+          "CMOS would need many transistors (paper S3, Inokawa et al.).",
+    expected=("one output level per gate period, evenly spaced, monotonic",
+              "device-count advantage of an order of magnitude over CMOS"),
+))
+
+
+# --------------------------------------------------------------------- E6
+
+def _compute_set_rng(spec: ScenarioSpec,
+                     context: EngineContext) -> ScenarioResult:
+    """The SET-MOS random-number generator: power/area/noise advantages."""
+    from ..analysis import run_randomness_battery
+    from ..hybrid import SingleElectronRNG
+
+    generator = SingleElectronRNG(seed=spec.seed)
+    signal = generator.run(sample_count=int(spec.params["signal_samples"]),
+                           debias=False)
+    bits = generator.generate_bits(int(spec.params["bit_count"]))
+    report = run_randomness_battery(bits)
+    comparison = generator.compare_with_cmos(
+        sample_count=int(spec.params["comparison_samples"]))
+    power_orders, area_orders, noise_orders = comparison.orders_of_magnitude()
+
+    result = _new_result(spec, context)
+    result.metrics.update({
+        "power_orders": power_orders,
+        "area_orders": area_orders,
+        "noise_orders": noise_orders,
+        "output_rms_V": signal.output_rms,
+        "output_swing_V": signal.output_swing,
+        "raw_bit_bias": float(signal.raw_bits.mean()),
+        "battery_pass_count": float(report.pass_count),
+        "battery_test_count": float(len(report.p_values)),
+        "set_power_W": comparison.set_power,
+        "cmos_power_W": comparison.cmos_power,
+        "set_area_m2": comparison.set_area,
+        "cmos_area_m2": comparison.cmos_area,
+        "set_noise_rms_V": comparison.set_noise_rms,
+        "cmos_noise_rms_V": comparison.cmos_noise_rms,
+    })
+    result.add_table(
+        ["quantity", "SET-MOS cell", "CMOS RNG macro", "advantage (orders)"],
+        [
+            ["power [W]", comparison.set_power, comparison.cmos_power,
+             power_orders],
+            ["area [m^2]", comparison.set_area, comparison.cmos_area,
+             area_orders],
+            ["noise RMS [V]", comparison.set_noise_rms,
+             comparison.cmos_noise_rms, noise_orders],
+        ],
+        title="SET-MOS RNG versus CMOS thermal-noise RNG macro")
+    result.add_table(["test", "p-value", "verdict"], report.summary_rows(),
+                     title=f"Randomness battery on {bits.size} debiased bits")
+    result.notes.append(
+        f"telegraph signal: swing {signal.output_swing * 1e3:.0f} mV, "
+        f"RMS {signal.output_rms * 1e3:.0f} mV (paper: 120 mV)")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="set_rng",
+        engine="montecarlo",
+        temperature=300.0,
+        observables=("power_orders", "area_orders", "noise_orders",
+                     "output_rms_V", "battery_pass_count", "random_bits"),
+        seed=20260616,
+        params={"signal_samples": 800, "bit_count": 3000,
+                "comparison_samples": 400},
+    ),
+    compute=_compute_set_rng,
+    title="Single-electron RNG: 1e7 lower power, 1e8 smaller area",
+    claim="Power consumption of the SET-MOS implementation is seven orders "
+          "of magnitude less, at eight orders of magnitude smaller area, "
+          "thanks to the large telegraphic noise of ~0.12 V RMS (paper S3, "
+          "Uchida et al.).",
+    expected=("orders-of-magnitude advantages in the paper's direction",
+              "telegraph RMS of the order of a tenth of a volt",
+              "a bit stream that passes the NIST-style battery"),
+))
+
+
+# --------------------------------------------------------------------- E7
+
+def _compute_simulator_comparison(spec: ScenarioSpec,
+                                  context: EngineContext) -> ScenarioResult:
+    """Compact-model versus master-equation versus Monte-Carlo engines."""
+    from ..circuit import Circuit
+    from ..master import MasterEquationSolver
+    from ..montecarlo import MonteCarloSimulator
+    from .engines import analytic_model_for
+
+    device = context.transistor()
+    gates = spec.axis("VG").grid()
+    drain_voltage = float(spec.params["drain_voltage"])
+    temperature = spec.temperature
+
+    def compact_model(model_temperature):
+        """The spec's device expressed as the analytic compact model."""
+        return analytic_model_for(device, model_temperature)
+
+    def sweep_compact():
+        """Gate sweep through the analytic model (one broadcast call)."""
+        return compact_model(temperature).drain_current_map(
+            [drain_voltage], gates)[0]
+
+    def sweep_master():
+        """Gate sweep through the structure-reusing master equation."""
+        _, currents = device.id_vg(gates, drain_voltage, temperature)
+        return currents
+
+    def sweep_monte_carlo():
+        """Gate sweep through the warm-started Monte-Carlo engine."""
+        simulator = MonteCarloSimulator(
+            device.build_circuit(drain_voltage=drain_voltage),
+            temperature=temperature, seed=spec.seed)
+        _, currents, _ = simulator.sweep_source(
+            "VG", gates, "J_drain",
+            max_events=spec.budget.max_events,
+            warmup_events=spec.budget.warmup_events)
+        return currents
+
+    result = _new_result(spec, context)
+    timed = {}
+    for label, runner in (("compact", sweep_compact),
+                          ("master", sweep_master),
+                          ("monte_carlo", sweep_monte_carlo)):
+        # One untimed warm-up call per engine: the comparison is about
+        # steady-state sweep cost, not first-call import/compilation and
+        # table-construction overhead (which would otherwise dominate the
+        # microsecond-scale compact path in a cold process).
+        runner()
+        start = time.perf_counter()
+        currents = runner()
+        timed[label] = (time.perf_counter() - start, currents)
+        result.records.append(SweepRecord(
+            name=f"id_vg_{label}", sweep_label="V_gate [V]",
+            sweep_values=gates, traces={"I_drain [A]": currents},
+            metadata={"engine": label}))
+
+    reference = timed["master"][1]
+    rows = []
+    for label, (runtime, currents) in timed.items():
+        deviation = (np.sqrt(np.mean((currents - reference) ** 2))
+                     / reference.max())
+        result.metrics[f"runtime_s_{label}"] = runtime
+        result.metrics[f"rms_dev_{label}"] = deviation
+        rows.append([label, runtime * 1e3, deviation * 100.0])
+    result.add_table(
+        ["engine", "runtime [ms]", "RMS deviation from master [%]"], rows,
+        title=f"Id-Vg sweep of one SET ({gates.size} points)")
+
+    # The two physics gaps of the compact model.
+    bias = float(spec.params["blockade_bias_fraction"]) \
+        * device.blockade_voltage
+    compact_leak = compact_model(0.0).drain_current(bias, 0.0)
+    cotunneling_leak = MonteCarloSimulator(
+        device.build_circuit(drain_voltage=bias), temperature=0.0,
+        seed=spec.seed + 1, include_cotunneling=True).stationary_current(
+            "J_drain", max_events=int(spec.params["cotunneling_events"]),
+            warmup_events=0).mean
+    circuit = Circuit("interacting")
+    circuit.add_island("dot_a")
+    circuit.add_island("dot_b")
+    circuit.add_voltage_source("VL", "lead", 0.1)
+    circuit.add_junction("J_left", "lead", "dot_a", 1e-18, 1e6)
+    circuit.add_junction("J_mid", "dot_a", "dot_b", 0.5e-18, 1e6)
+    circuit.add_junction("J_right", "dot_b", "gnd", 1e-18, 1e6)
+    circuit.add_capacitor("C_ga", "gnd", "dot_a", 0.5e-18)
+    interacting_current = MasterEquationSolver(
+        circuit, temperature=2.0, extra_electrons=2).current("J_left")
+    result.metrics.update({
+        "compact_blockade_leak_A": compact_leak,
+        "cotunneling_leak_A": cotunneling_leak,
+        "interacting_current_A": interacting_current,
+    })
+    result.add_table(
+        ["quantity", "value"],
+        [
+            ["compact-model current deep in blockade [A]", compact_leak],
+            ["Monte-Carlo co-tunnelling current [A]", cotunneling_leak],
+            ["interacting double-island current [nA] (master eq.)",
+             interacting_current * 1e9],
+        ],
+        title="Physics only the detailed engines capture")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="simulator_comparison",
+        engine="auto",
+        temperature=2.0,
+        device=dict(STANDARD_DEVICE),
+        sweeps=(SweepAxis("VG", start=0.0, stop=2.0 * STANDARD_GATE_PERIOD,
+                          points=129),),
+        observables=("runtime_s_*", "rms_dev_*", "compact_blockade_leak_A",
+                     "cotunneling_leak_A", "interacting_current_A"),
+        seed=4,
+        budget=Budget(max_events=2000, warmup_events=200),
+        params={"drain_voltage": 5e-3, "blockade_bias_fraction": 0.6,
+                "cotunneling_events": 800},
+    ),
+    compute=_compute_simulator_comparison,
+    title="Engine comparison: compact is fast, detailed engines are complete",
+    claim="SPICE-based simulators cannot deal with interacting SETs or "
+          "higher-order tunnelling; detailed Monte-Carlo simulators capture "
+          "all the physics but are limited in circuit size (paper S4).",
+    expected=("runtime ordering: compact far faster than the detailed engines",
+              "compact tracks the master equation closely on-peak",
+              "zero compact current in blockade where co-tunnelling leaks",
+              "a conducting interacting double dot only the detailed "
+              "engines describe"),
+))
+
+
+# --------------------------------------------------------------------- E8
+
+def _compute_power_dissipation(spec: ScenarioSpec,
+                               context: EngineContext) -> ScenarioResult:
+    """Chip area and power are the strong points of single-electron logic."""
+    from ..hybrid import cmos_periodic_iv_device_count
+    from ..logic import compare_logic_power, thermodynamic_limit
+
+    device = context.transistor()
+    set_supply = device.blockade_voltage
+    comparison = compare_logic_power(
+        set_supply_voltage=set_supply,
+        cmos_supply_voltage=float(spec.params["cmos_supply_voltage"]),
+        cmos_load_capacitance=float(spec.params["cmos_load_capacitance"]),
+        frequency=float(spec.params["frequency"]),
+        activity_factor=float(spec.params["activity_factor"]),
+        electrons_per_event=int(spec.params["electrons_per_event"]),
+    )
+    periods = int(spec.params["periodic_iv_periods"])
+
+    result = _new_result(spec, context)
+    result.metrics.update({
+        "set_supply_V": set_supply,
+        "set_switching_energy_J": comparison.set_switching_energy,
+        "cmos_switching_energy_J": comparison.cmos_switching_energy,
+        "set_total_power_W": comparison.set_total_power,
+        "cmos_total_power_W": comparison.cmos_total_power,
+        "energy_advantage": comparison.energy_advantage,
+        "power_advantage": comparison.power_advantage,
+        "landauer_300K_J": thermodynamic_limit(300.0),
+        "cmos_periodic_iv_devices":
+            float(cmos_periodic_iv_device_count(periods)),
+    })
+    result.add_table(
+        ["quantity", "SET logic", "CMOS logic"],
+        [
+            ["supply voltage [V]", set_supply,
+             float(spec.params["cmos_supply_voltage"])],
+            ["switching energy [J]", comparison.set_switching_energy,
+             comparison.cmos_switching_energy],
+            [f"dynamic power at {float(spec.params['frequency']):.0e} Hz [W]",
+             comparison.set_dynamic_power, comparison.cmos_dynamic_power],
+            ["static power [W]", comparison.set_static_power,
+             comparison.cmos_static_power],
+            ["total power per gate [W]", comparison.set_total_power,
+             comparison.cmos_total_power],
+        ],
+        title="Switching energy and power: single-electron logic vs CMOS")
+    result.notes.append(
+        f"switching-energy advantage : {comparison.energy_advantage:.2e}x")
+    result.notes.append(
+        f"total-power advantage      : {comparison.power_advantage:.2e}x")
+    result.notes.append(
+        f"Landauer limit at 300 K    : {thermodynamic_limit(300.0):.2e} J")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="power_dissipation",
+        engine="analytic",
+        temperature=300.0,
+        device=dict(STANDARD_DEVICE),
+        observables=("set_switching_energy_J", "cmos_switching_energy_J",
+                     "energy_advantage", "power_advantage",
+                     "landauer_300K_J"),
+        seed=1,
+        params={"cmos_supply_voltage": 1.0, "cmos_load_capacitance": 1e-15,
+                "frequency": 1e9, "activity_factor": 0.1,
+                "electrons_per_event": 2, "periodic_iv_periods": 4},
+    ),
+    compute=_compute_power_dissipation,
+    title="Power dissipation: orders-of-magnitude switching-energy advantage",
+    claim="Chip area (cost) and power advantages are the real strong points "
+          "of a single-electron technology (paper S2; S4 Mahapatra et al.).",
+    expected=("energy advantage above 1e3, power advantage above 1e2",
+              "both technologies far above the Landauer bound"),
+))
+
+
+# --------------------------------------------------------------------- E9
+
+def _compute_speed_limits(spec: ScenarioSpec,
+                          context: EngineContext) -> ScenarioResult:
+    """Sub-picosecond tunnelling versus slower AM/FM decisions."""
+    from ..core import (
+        charging_time,
+        heisenberg_tunnel_time,
+        tunnel_traversal_time,
+    )
+    from ..devices import AMFMSET
+    from ..logic import FMCodedSETLogic
+    from ..master import MasterEquationDynamics
+    from ..units import electronvolt
+
+    device = context.transistor()
+    barrier_energy = electronvolt(float(spec.params["barrier_height_eV"]))
+    traversal = tunnel_traversal_time(
+        barrier_energy, barrier_width=float(spec.params["barrier_width_m"]))
+    heisenberg = heisenberg_tunnel_time(barrier_energy)
+    rc_time = charging_time(device.junction_resistance,
+                            device.total_capacitance)
+    dynamics = MasterEquationDynamics(
+        device.build_circuit(drain_voltage=0.05, gate_voltage=0.04),
+        temperature=spec.temperature)
+    settling = dynamics.relaxation_time()
+
+    amfm = AMFMSET(**dict(spec.params["amfm_device"]))
+    fm = FMCodedSETLogic(amfm, drain_voltage=2e-3,
+                         temperature=spec.temperature, periods=3.0,
+                         points_per_period=16)
+    points_per_decision = fm.decision_periods * fm.points_per_period
+    fm_latency = points_per_decision * settling
+
+    result = _new_result(spec, context)
+    result.metrics.update({
+        "tunnel_traversal_s": traversal,
+        "heisenberg_s": heisenberg,
+        "rc_time_s": rc_time,
+        "settling_s": settling,
+        "fm_decision_periods": fm.decision_periods,
+        "fm_latency_s": fm_latency,
+    })
+    result.add_table(
+        ["timescale", "value [s]"],
+        [
+            ["quantum tunnel traversal "
+             f"({spec.params['barrier_height_eV']:g} eV, "
+             f"{float(spec.params['barrier_width_m']) * 1e9:g} nm)",
+             traversal],
+            ["Heisenberg estimate hbar/E_b", heisenberg],
+            ["junction RC time", rc_time],
+            ["circuit settling time (master eq.)", settling],
+            ["FM-coded decision latency", fm_latency],
+        ],
+        title="Timescales from tunnelling to an FM logic decision")
+    result.notes.append(
+        f"FM decision needs {fm.decision_periods:.0f} Id-Vg periods "
+        "(direct coding: a single sample)")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="speed_limits",
+        engine="master",
+        temperature=1.0,
+        device=dict(STANDARD_DEVICE),
+        observables=("tunnel_traversal_s", "heisenberg_s", "rc_time_s",
+                     "settling_s", "fm_latency_s", "fm_decision_periods"),
+        seed=1,
+        params={"barrier_height_eV": 1.0, "barrier_width_m": 2e-9,
+                "amfm_device": {"junction_capacitance": 1e-18,
+                                "junction_resistance": 1e6,
+                                "gate_capacitance_low": 1.5e-18,
+                                "gate_capacitance_high": 3e-18}},
+    ),
+    compute=_compute_speed_limits,
+    title="Speed limits: sub-picosecond tunnelling, many-period FM decisions",
+    claim="The fundamental speed limit of SETs is the sub-picosecond "
+          "tunnelling process; AM/FM-coded logic has to be slower because "
+          "several periods are used per decision (paper S2).",
+    expected=("tunnel traversal and Heisenberg times below 1 ps",
+              "RC/settling times below 1 ns",
+              "FM decision latency orders of magnitude above one event"),
+))
+
+
+# -------------------------------------------------------------------- E10
+
+def _compute_electrometer(spec: ScenarioSpec,
+                          context: EngineContext) -> ScenarioResult:
+    """The SET as a super-sensitive electrometer."""
+    from ..devices import SETElectrometer
+
+    device = context.transistor()
+    electrometer = SETElectrometer(device, temperature=spec.temperature)
+    gate_voltages = spec.axis("VG").grid()
+    profile = [electrometer.charge_sensitivity(v) for v in gate_voltages]
+    finite = [r for r in profile
+              if np.isfinite(r.sensitivity_e_per_sqrt_hz)]
+    best = min(finite, key=lambda r: r.sensitivity_e_per_sqrt_hz)
+    gains = [abs(r.transconductance_per_charge) for r in profile]
+
+    result = _new_result(spec, context)
+    result.metrics.update({
+        "best_sensitivity_e_per_sqrt_hz": best.sensitivity_e_per_sqrt_hz,
+        "best_gate_voltage_V": best.gate_voltage,
+        "min_detectable_charge_1MHz_e": best.minimum_detectable_charge(1e6),
+        "max_transconductance_per_charge": max(gains),
+        "min_transconductance_per_charge": min(gains),
+    })
+    result.add_table(
+        ["V_gate [mV]", "I [pA]", "dI/dq0 [nA/e]",
+         "sensitivity [micro-e/sqrt(Hz)]"],
+        [[r.gate_voltage * 1e3, r.current * 1e12,
+          r.transconductance_per_charge * E_CHARGE * 1e9,
+          r.sensitivity_e_per_sqrt_hz * 1e6] for r in profile],
+        title=f"T = {spec.temperature} K, Vd = half the blockade voltage")
+    result.records.append(SweepRecord(
+        name="sensitivity_profile", sweep_label="V_gate [V]",
+        sweep_values=gate_voltages,
+        traces={"sensitivity [e/sqrt(Hz)]":
+                [r.sensitivity_e_per_sqrt_hz for r in profile],
+                "I_drain [A]": [r.current for r in profile]},
+        metadata={"temperature_K": f"{spec.temperature:g}"}))
+    result.notes.append(
+        f"best operating point: Vg = {best.gate_voltage * 1e3:.1f} mV, "
+        f"sensitivity = {best.sensitivity_e_per_sqrt_hz * 1e6:.1f} "
+        "micro-e/sqrt(Hz)")
+    for bandwidth in (1.0, 1e3, 1e6):
+        result.notes.append(
+            f"  minimum detectable charge in {bandwidth:>9.0f} Hz: "
+            f"{best.minimum_detectable_charge(bandwidth):.2e} e")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="electrometer",
+        engine="master",
+        temperature=0.3,
+        device=dict(STANDARD_DEVICE),
+        sweeps=(SweepAxis("VG", start=0.0, stop=STANDARD_GATE_PERIOD,
+                          points=13),),
+        observables=("best_sensitivity_e_per_sqrt_hz",
+                     "min_detectable_charge_1MHz_e",
+                     "max_transconductance_per_charge"),
+        seed=1,
+    ),
+    compute=_compute_electrometer,
+    title="Electrometer: charge sensitivity far below a single electron",
+    claim="One can build super sensitive electrometers from the SET's large "
+          "charge sensitivity (paper S2).",
+    expected=("best sensitivity far below 1e-3 e/sqrt(Hz)",
+              "sub-single-electron resolution over a 1 MHz bandwidth",
+              "strongly gate-dependent transconductance (the flank beats "
+              "the blockade centre)"),
+))
+
+
+__all__ = ["STANDARD_DEVICE", "STANDARD_GATE_PERIOD"]

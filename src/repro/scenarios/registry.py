@@ -1,0 +1,150 @@
+"""The scenario registry: named, runnable, documented workloads.
+
+A :class:`Scenario` bundles a declarative :class:`ScenarioSpec` with the
+compute function that interprets it and with its documentation (the paper
+claim it reproduces and the outputs it promises).  The module-level registry
+maps names to scenarios; :func:`run_scenario` is the one-call entry point the
+examples, benchmarks, and CLI all share.
+
+The canonical paper scenarios live in :mod:`repro.scenarios.library` and are
+registered on first access, so importing :mod:`repro` stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ValidationError
+from .engines import EngineContext
+from .result import ScenarioResult
+from .spec import ScenarioSpec
+
+#: Compute-function signature: interpret the spec inside the engine context
+#: and return the scenario's result.
+ComputeFunction = Callable[[ScenarioSpec, EngineContext], ScenarioResult]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered workload: spec + compute function + documentation.
+
+    Parameters
+    ----------
+    spec:
+        The canonical spec (callers may override the engine per run).
+    compute:
+        Function that interprets the spec and produces the result.
+    title:
+        One-line human title (shown by ``repro list``).
+    claim:
+        The paper claim the scenario reproduces.
+    expected:
+        One-line descriptions of the expected outputs (shown by
+        ``repro describe`` and ``docs/scenarios.md``).
+    supported_engines:
+        Engines the compute function genuinely dispatches over (scenarios
+        whose compute routes through
+        :meth:`~repro.scenarios.engines.EngineContext` methods).  ``None``
+        (default) means the scenario is pinned to its spec's engine: the
+        runner then rejects engine overrides instead of mislabelling a
+        result with an engine that never ran.
+    """
+
+    spec: ScenarioSpec
+    compute: ComputeFunction
+    title: str = ""
+    claim: str = ""
+    expected: Tuple[str, ...] = field(default_factory=tuple)
+    supported_engines: Optional[Tuple[str, ...]] = None
+
+    @property
+    def name(self) -> str:
+        """Registry name (the spec's name)."""
+        return self.spec.name
+
+    def allowed_engines(self) -> Tuple[str, ...]:
+        """The engine values a run of this scenario may request."""
+        if self.supported_engines is not None:
+            return self.supported_engines
+        return (self.spec.engine,)
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+_LIBRARY_LOADED = False
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (idempotent re-registration allowed)."""
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def _ensure_library() -> None:
+    """Import the canonical library on first registry access.
+
+    The loaded flag is set only after a *successful* import, so a failing
+    library import raises its real error on every access instead of leaving
+    later callers with a silently empty registry.
+    """
+    global _LIBRARY_LOADED
+    if not _LIBRARY_LOADED:
+        from . import library  # noqa: F401  (registers on import)
+        _LIBRARY_LOADED = True
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    _ensure_library()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{scenario_names()}") from None
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    _ensure_library()
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> List[Scenario]:
+    """Every registered scenario, sorted by name."""
+    _ensure_library()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def run_scenario(name: str, engine: Optional[str] = None,
+                 use_cache: bool = True,
+                 cache_dir=None, log=None) -> ScenarioResult:
+    """Run one registered scenario end-to-end (the shared entry point).
+
+    Parameters
+    ----------
+    name:
+        Registered scenario name.
+    engine:
+        Optional engine override (changes the cache identity).
+    use_cache:
+        Serve/store through the content-hash result cache (default).
+    cache_dir:
+        Cache directory override (default: ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro/scenarios``).
+    log:
+        Progress callback receiving one-line strings.
+
+    Returns
+    -------
+    ScenarioResult
+        The computed (or cache-served) result.
+    """
+    from .runner import ScenarioRunner
+
+    runner = ScenarioRunner(use_cache=use_cache, cache_dir=cache_dir, log=log)
+    return runner.run(name, engine=engine)
+
+
+__all__ = ["ComputeFunction", "Scenario", "get_scenario", "iter_scenarios",
+           "register_scenario", "run_scenario", "scenario_names"]

@@ -1,0 +1,116 @@
+"""Tests for the content-hash result cache (hit/miss, corruption, concurrency)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.io import ResultCache, content_hash
+
+
+class TestContentHash:
+    def test_stable_for_equal_content(self):
+        assert content_hash("abc") == content_hash("abc")
+        assert content_hash(b"abc") == content_hash("abc")
+
+    def test_mapping_order_does_not_matter(self):
+        assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+
+    def test_different_content_different_hash(self):
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(content_hash({"spec": 1}))
+        assert cache.load(key) is None
+        cache.store(key, {"payload": {"x": 1.0}})
+        assert cache.load(key) == {"payload": {"x": 1.0}}
+
+    def test_spec_change_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key_a = cache.key_for(content_hash({"points": 10}))
+        key_b = cache.key_for(content_hash({"points": 11}))
+        assert key_a != key_b
+        cache.store(key_a, {"payload": 1})
+        assert cache.load(key_b) is None
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        spec_hash = content_hash({"spec": 1})
+        old = ResultCache(tmp_path, code_version="1.0")
+        new = ResultCache(tmp_path, code_version="2.0")
+        old.store(old.key_for(spec_hash), {"payload": 1})
+        assert new.load(new.key_for(spec_hash)) is None
+
+    def test_corrupted_artifact_is_evicted_and_reported_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(content_hash({"spec": 1}))
+        cache.store(key, {"payload": 1})
+        cache.path_for(key).write_text('{"payload": 1')  # truncated write
+        assert cache.load(key) is None
+        assert not cache.path_for(key).exists()
+        # A recompute can store again afterwards.
+        cache.store(key, {"payload": 2})
+        assert cache.load(key) == {"payload": 2}
+
+    def test_binary_corrupted_artifact_is_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(content_hash({"spec": 1}))
+        cache.store(key, {"payload": 1})
+        cache.path_for(key).write_bytes(b"\xff\xfe binary garbage \x00")
+        assert cache.load(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_non_dict_artifact_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("x")
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text("[1, 2, 3]")
+        assert cache.load(key) is None
+
+    def test_store_is_atomic_no_temp_residue(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("x")
+        cache.store(key, {"payload": list(range(1000))})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_concurrent_writers_leave_a_valid_artifact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("shared")
+        errors = []
+
+        def hammer(value):
+            try:
+                for _ in range(25):
+                    cache.store(key, {"payload": value})
+                    loaded = cache.load(key)
+                    # Whatever we read must be one writer's complete payload.
+                    if loaded is not None:
+                        assert loaded["payload"] in range(8)
+            except Exception as error:  # pragma: no cover - failure report
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        final = cache.load(key)
+        assert final is not None and final["payload"] in range(8)
+        # The surviving artifact is well-formed JSON on disk.
+        json.loads(cache.path_for(key).read_text())
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for n in range(3):
+            cache.store(cache.key_for(f"spec{n}"), {"payload": n})
+        assert cache.clear() == 3
+        assert cache.load(cache.key_for("spec0")) is None
+
+    def test_load_missing_root(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.load(cache.key_for("x")) is None
+        assert cache.clear() == 0

@@ -1,0 +1,55 @@
+"""Tests for the scenario registry and the canonical library."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenarios import get_scenario, iter_scenarios, scenario_names
+
+CANONICAL = [
+    "background_charge_logic",
+    "coulomb_oscillations",
+    "electrometer",
+    "gain_vs_temperature",
+    "power_dissipation",
+    "room_temperature_set",
+    "set_rng",
+    "setmos_quantizer",
+    "simulator_comparison",
+    "speed_limits",
+]
+
+
+def test_ships_at_least_ten_canonical_scenarios():
+    names = scenario_names()
+    assert len(names) >= 10
+    for name in CANONICAL:
+        assert name in names
+
+
+def test_unknown_scenario_error_lists_names():
+    with pytest.raises(ValidationError, match="coulomb_oscillations"):
+        get_scenario("does_not_exist")
+
+
+def test_every_scenario_is_documented():
+    for scenario in iter_scenarios():
+        assert scenario.title, scenario.name
+        assert scenario.claim, scenario.name
+        assert scenario.expected, scenario.name
+        assert scenario.spec.observables, scenario.name
+
+
+def test_specs_are_config_round_trippable():
+    from repro.scenarios import ScenarioSpec
+
+    for scenario in iter_scenarios():
+        spec = scenario.spec
+        rebuilt = ScenarioSpec.from_json(
+            __import__("json").dumps(spec.to_dict()))
+        assert rebuilt == spec
+        assert rebuilt.content_hash() == spec.content_hash()
+
+
+def test_spec_hashes_are_distinct():
+    hashes = [s.spec.content_hash() for s in iter_scenarios()]
+    assert len(set(hashes)) == len(hashes)

@@ -1,0 +1,183 @@
+"""Tests for ScenarioSpec: round-trips, hashing, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenarios import Budget, ScenarioSpec, SweepAxis
+
+
+def example_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="example",
+        engine="master",
+        temperature=0.5,
+        device={"junction_capacitance": 1e-18, "gate_capacitance": 2e-18},
+        sweeps=(SweepAxis("VG", start=0.0, stop=0.08, points=5),
+                SweepAxis("VD", values=(0.001, 0.002), unit="V")),
+        observables=("current_A",),
+        seed=7,
+        budget=Budget(max_events=500, warmup_events=50, replicas=4, workers=2),
+        params={"drain_voltage": 2e-3},
+    )
+
+
+class TestSweepAxis:
+    def test_linear_grid(self):
+        axis = SweepAxis("VG", start=0.0, stop=1.0, points=5)
+        assert np.allclose(axis.grid(), [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_endpoint_false(self):
+        axis = SweepAxis("VG", start=0.0, stop=1.0, points=4, endpoint=False)
+        assert np.allclose(axis.grid(), [0.0, 0.25, 0.5, 0.75])
+
+    def test_explicit_values(self):
+        axis = SweepAxis("VD", values=(0.1, 0.3))
+        assert np.allclose(axis.grid(), [0.1, 0.3])
+
+    def test_needs_values_or_points(self):
+        with pytest.raises(ValidationError):
+            SweepAxis("VG")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            SweepAxis("VG", values=())
+
+    def test_round_trip(self):
+        for axis in (SweepAxis("VG", start=0.0, stop=1.0, points=3),
+                     SweepAxis("VD", values=(1.0, 2.0), unit="mV")):
+            assert SweepAxis.from_dict(axis.to_dict()) == axis
+
+
+class TestBudgetValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            Budget(max_events=0)
+        with pytest.raises(ValidationError):
+            Budget(warmup_events=-1)
+        with pytest.raises(ValidationError):
+            Budget(replicas=-2)
+        with pytest.raises(ValidationError):
+            Budget(workers=0)
+
+
+class TestScenarioSpec:
+    def test_dict_round_trip(self):
+        spec = example_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = example_spec()
+        import json
+
+        assert ScenarioSpec.from_json(json.dumps(spec.to_dict())) == spec
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = example_spec()
+        path = tmp_path / "spec.json"
+        import json
+
+        path.write_text(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.load(path) == spec
+
+    def test_toml_parsing(self, tmp_path):
+        pytest.importorskip(
+            "tomllib",
+            reason="TOML specs need Python >= 3.11 (or the tomli package)")
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            '[scenario]\n'
+            'name = "example"\n'
+            'engine = "analytic"\n'
+            'temperature = 2.0\n'
+            'seed = 3\n'
+            '[scenario.device]\n'
+            'gate_capacitance = 2e-18\n'
+            '[[scenario.sweeps]]\n'
+            'source = "VG"\n'
+            'start = 0.0\n'
+            'stop = 0.1\n'
+            'points = 4\n')
+        spec = ScenarioSpec.load(path)
+        assert spec.name == "example"
+        assert spec.engine == "analytic"
+        assert spec.device == {"gate_capacitance": 2e-18}
+        assert spec.axis("VG").points == 4
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioSpec(name="x", engine="quantum")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioSpec.from_dict({"engine": "master"})
+
+    def test_unknown_spec_key_rejected(self):
+        with pytest.raises(ValidationError, match="warm_up_events"):
+            ScenarioSpec.from_dict({"name": "x", "warm_up_events": 0})
+
+    def test_non_numeric_value_raises_validation_error(self):
+        with pytest.raises(ValidationError, match="sweep axis"):
+            ScenarioSpec.from_dict({"name": "x",
+                                    "sweeps": [{"source": "VG", "start": 0.0,
+                                                "stop": 1.0,
+                                                "points": "ten"}]})
+        with pytest.raises(ValidationError, match="budget"):
+            ScenarioSpec.from_dict({"name": "x",
+                                    "budget": {"max_events": "many"}})
+        with pytest.raises(ValidationError, match="scenario spec"):
+            ScenarioSpec.from_dict({"name": "x", "temperature": "cold"})
+
+    def test_string_observables_rejected(self):
+        with pytest.raises(ValidationError, match="observables"):
+            ScenarioSpec.from_dict({"name": "x",
+                                    "observables": "current_stderr_A"})
+
+    def test_unknown_budget_key_rejected(self):
+        with pytest.raises(ValidationError, match="maxevents"):
+            ScenarioSpec.from_dict({"name": "x",
+                                    "budget": {"maxevents": 10}})
+
+    def test_unknown_axis_key_rejected(self):
+        with pytest.raises(ValidationError, match="step"):
+            ScenarioSpec.from_dict({"name": "x",
+                                    "sweeps": [{"source": "VG", "start": 0.0,
+                                                "stop": 1.0, "points": 3,
+                                                "step": 0.1}]})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioSpec.from_json("{not json")
+
+    def test_missing_spec_file_raises_validation_error(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            ScenarioSpec.load(tmp_path / "does_not_exist.json")
+
+    def test_axis_lookup_error_lists_axes(self):
+        with pytest.raises(ValidationError, match="VG"):
+            example_spec().axis("VSUB")
+
+    def test_hash_is_stable(self):
+        assert example_spec().content_hash() == example_spec().content_hash()
+
+    def test_hash_changes_with_any_field(self):
+        spec = example_spec()
+        import dataclasses
+
+        variants = [
+            dataclasses.replace(spec, temperature=0.6),
+            dataclasses.replace(spec, seed=8),
+            dataclasses.replace(spec, engine="analytic"),
+            dataclasses.replace(spec, params={"drain_voltage": 3e-3}),
+            dataclasses.replace(spec, budget=Budget(max_events=501)),
+        ]
+        hashes = {spec.content_hash()} | {v.content_hash() for v in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_with_engine(self):
+        spec = example_spec()
+        assert spec.with_engine(None) is spec
+        assert spec.with_engine("master") is spec
+        override = spec.with_engine("analytic")
+        assert override.engine == "analytic"
+        assert override.content_hash() != spec.content_hash()

@@ -1,0 +1,29 @@
+"""Tier-1 enforcement of the public-API docstring contract.
+
+Runs the same checker as the CI docs-lint job
+(``tools/check_docstrings.py``): module docstrings plus docstrings on every
+public class/function/method in the scoped modules, and NumPy-style
+``Parameters``/``Returns`` sections on the key cross-engine entry points.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docstrings", REPO_ROOT / "tools" / "check_docstrings.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_docstrings"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_public_api_docstrings_are_clean(capsys):
+    checker = load_checker()
+    exit_code = checker.main()
+    output = capsys.readouterr().out
+    assert exit_code == 0, f"docstring violations:\n{output}"
