@@ -18,8 +18,16 @@ and ``docs/scenarios.md``):
 >>> from repro.scenarios import run_scenario
 >>> result = run_scenario("coulomb_oscillations")  # doctest: +SKIP
 
-or, from a shell, ``python -m repro run coulomb_oscillations``.  The layers
-underneath remain directly usable:
+or, from a shell, ``python -m repro run coulomb_oscillations``.  All four
+simulation backends sit behind the unified engine protocol of
+:mod:`repro.engines` — resolve by name, bind a device, get one result
+model (``python -m repro engines`` lists the capabilities):
+
+>>> from repro.engines import get_engine, SweepAxes  # doctest: +SKIP
+>>> session = get_engine("master").bind(set_device, temperature=1.0)  # doctest: +SKIP
+>>> result = session.sweep(SweepAxes(gates, drain_voltage=2e-3))  # doctest: +SKIP
+
+The layers underneath remain directly usable:
 
 >>> from repro.devices import SETTransistor
 >>> from repro.master import MasterEquationSolver

@@ -109,45 +109,28 @@ def simulated_oscillation_visibility(set_model, temperature: float,
                                      points: int = 41) -> float:
     """Visibility of the Id-Vg oscillations from an actual model sweep.
 
-    ``set_model`` is any object with ``gate_period``, ``total_capacitance``
-    and ``drain_current(vd, vg)`` — in practice an
-    :class:`~repro.compact.set_model.AnalyticSETModel` created at
-    ``temperature``.
+    ``set_model`` is any compact model with ``gate_period``,
+    ``total_capacitance`` and the broadcast ``drain_current_map`` interface
+    — in practice an :class:`~repro.compact.set_model.AnalyticSETModel`
+    created at ``temperature``.  The sweep runs through the uniform
+    :class:`~repro.engines.base.Session` API (the analytic engine's
+    broadcast fast path); scalar-only duck-typed models are no longer
+    accepted — wrap them in a ``drain_current_map`` or use the session
+    layer directly.
     """
+    from ..engines import SweepAxes
+    from ..engines.adapters import AnalyticSession
+
     period = set_model.gate_period
     if drain_voltage is None:
         drain_voltage = 0.1 * E_CHARGE / set_model.total_capacitance
     gates = np.linspace(0.0, period, points)
-    currents = _gate_sweep_currents(set_model, drain_voltage, gates)
+    session = AnalyticSession.from_model(set_model)
+    currents = session.sweep(SweepAxes(gates, drain_voltage)).currents
     high, low = currents.max(), currents.min()
     if high + low <= 0.0:
         return 0.0
     return float((high - low) / (high + low))
-
-
-def _gate_sweep_currents(set_model, drain_voltage: float,
-                         gate_voltages: np.ndarray) -> np.ndarray:
-    """Drain current over a gate sweep, batched whenever the model allows.
-
-    Models that expose ``drain_current_map`` (all the package's SET models
-    do) evaluate the whole sweep in one broadcast call; an array-accepting
-    ``drain_current`` is the next-best path.  Plain scalar-only models fall
-    back to the original per-point loop, so duck-typed third-party models
-    keep working.
-    """
-    current_map = getattr(set_model, "drain_current_map", None)
-    if current_map is not None:
-        return np.asarray(current_map([drain_voltage], gate_voltages),
-                          dtype=float)[0]
-    try:
-        currents = np.asarray(
-            set_model.drain_current(drain_voltage, gate_voltages), dtype=float)
-        if currents.shape == gate_voltages.shape:
-            return currents
-    except (TypeError, ValueError):
-        pass
-    return np.array([set_model.drain_current(drain_voltage, vg)
-                     for vg in gate_voltages], dtype=float)
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,7 @@
-"""Command-line interface: ``python -m repro {run,list,describe,compare}``.
+"""Command-line interface: ``python -m repro {run,list,describe,compare,engines}``.
 
-The CLI is a thin shell over :mod:`repro.scenarios`:
+The CLI is a thin shell over :mod:`repro.scenarios` and the engine registry
+of :mod:`repro.engines`:
 
 * ``list`` — every registered scenario with its engine and title;
 * ``describe NAME`` — the full spec (device, sweeps, observables, budget)
@@ -9,8 +10,10 @@ The CLI is a thin shell over :mod:`repro.scenarios`:
   cache (``--no-cache`` forces recompute, ``--engine`` overrides the spec,
   ``--spec FILE`` runs a JSON/TOML spec document, ``--all`` runs the whole
   registry);
-* ``compare NAME`` — run one scenario under several engines and tabulate
-  the metrics side by side.
+* ``compare NAME`` — run one scenario under several registry-resolved
+  engines and tabulate the metrics side by side;
+* ``engines`` — every registered engine with its capability flags,
+  exactness class, and cost model.
 """
 
 from __future__ import annotations
@@ -20,10 +23,10 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from .engines import engine_names, list_engines
 from .errors import ReproError
 from .io.tables import format_table
 from .scenarios import (
-    ENGINES,
     ScenarioRunner,
     ScenarioSpec,
     default_cache_dir,
@@ -61,8 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--spec", metavar="FILE",
                             help="run a JSON/TOML spec document instead of "
                                  "a registered spec")
-    run_parser.add_argument("--engine", choices=ENGINES,
-                            help="override the spec's engine")
+    run_parser.add_argument("--engine", metavar="ENGINE",
+                            help="override the spec's engine with any "
+                                 "registered engine name (see "
+                                 "'repro engines')")
     run_parser.add_argument("--no-cache", action="store_true",
                             help="always recompute; never read or write "
                                  "the result cache")
@@ -79,12 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("name", help="registered scenario name")
     compare_parser.add_argument(
         "--engines", default="analytic,master,montecarlo",
-        help="comma-separated engines to compare "
-             "(default: analytic,master,montecarlo)")
+        help="comma-separated registered engine names to compare "
+             "(default: analytic,master,montecarlo; see 'repro engines')")
     compare_parser.add_argument("--no-cache", action="store_true",
                                 help="always recompute")
     compare_parser.add_argument("--cache-dir", metavar="DIR",
                                 help="result-cache directory")
+
+    engines_parser = commands.add_parser(
+        "engines", help="list registered engines with their capabilities")
+    engines_parser.add_argument("--json", action="store_true",
+                                help="machine-readable output")
     return parser
 
 
@@ -155,6 +165,12 @@ def _command_describe(arguments) -> int:
 
 def _command_run(arguments) -> int:
     """Implement ``repro run``."""
+    if arguments.engine is not None:
+        known = ["auto"] + engine_names()
+        if arguments.engine not in known:
+            print(f"unknown engine {arguments.engine!r}; registered "
+                  f"engines: {known} (see 'repro engines')", file=sys.stderr)
+            return 2
     runner = ScenarioRunner(use_cache=not arguments.no_cache,
                             cache_dir=arguments.cache_dir,
                             log=None if arguments.quiet else _log)
@@ -193,14 +209,47 @@ def _command_run(arguments) -> int:
     return 0
 
 
+def _command_engines(arguments) -> int:
+    """Implement ``repro engines``."""
+    engines = [engine.capabilities() for engine in list_engines()]
+    if arguments.json:
+        print(json.dumps([{
+            "name": caps.name,
+            "exactness": caps.exactness,
+            **caps.flags(),
+            "cost": {"setup_s": caps.cost.setup_s,
+                     "per_point_s": caps.cost.per_point_s},
+            "description": caps.description,
+        } for caps in engines], indent=2))
+        return 0
+
+    def _flag(value: bool) -> str:
+        return "yes" if value else "-"
+
+    rows = [[caps.name, caps.exactness, _flag(caps.stochastic),
+             _flag(caps.supports_ensemble),
+             _flag(caps.supports_temperature_array),
+             f"{caps.cost.per_point_s:.0e}", caps.description]
+            for caps in engines]
+    print(format_table(
+        ["engine", "exactness", "stochastic", "ensemble", "T-array",
+         "~s/point", "description"], rows,
+        title=f"{len(engines)} registered engines"))
+    print("\nresolve programmatically: repro.engines.get_engine(NAME)"
+          ".bind(device, temperature=...) -> Session")
+    return 0
+
+
 def _command_compare(arguments) -> int:
     """Implement ``repro compare``."""
     engines = [engine.strip() for engine in arguments.engines.split(",")
                if engine.strip()]
+    registered = engine_names()
     for engine in engines:
-        if engine not in ENGINES or engine == "auto":
-            print(f"cannot compare on engine {engine!r}; choose from "
-                  f"{[e for e in ENGINES if e != 'auto']}", file=sys.stderr)
+        if engine not in registered:
+            print(f"cannot compare on engine {engine!r}; registered "
+                  f"engines: {registered} (see 'repro engines')",
+                  file=sys.stderr)
             return 2
     scenario = get_scenario(arguments.name)
     allowed = scenario.allowed_engines()
@@ -231,7 +280,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
     handlers = {"list": _command_list, "describe": _command_describe,
-                "run": _command_run, "compare": _command_compare}
+                "run": _command_run, "compare": _command_compare,
+                "engines": _command_engines}
     try:
         return handlers[arguments.command](arguments)
     except ReproError as error:

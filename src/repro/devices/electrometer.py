@@ -20,7 +20,7 @@ import numpy as np
 
 from ..constants import E_CHARGE
 from ..errors import AnalysisError
-from .set_transistor import DRAIN_JUNCTION, GATE_SOURCE, ISLAND, SETTransistor
+from .set_transistor import SETTransistor
 
 
 @dataclass(frozen=True)
@@ -72,36 +72,32 @@ class SETElectrometer:
         self.drain_voltage = drain_voltage if drain_voltage is not None \
             else 0.5 * transistor.blockade_voltage
         self.temperature = float(temperature)
-        # One circuit and one master-equation solver serve every operating
-        # point: repeated-current calls only move the gate bias / island
-        # offset charge and re-solve, so the transition structure
-        # (state window, index pairs, static energies) is reused across the
-        # whole finite-difference stencil and all profile/optimisation scans
-        # instead of being rebuilt per point.
-        self._circuit = None
-        self._solver = None
-        self._solver_key = None
+        # One bound master-equation session serves every operating point:
+        # repeated solves only move the gate bias / island offset charge, so
+        # the transition structure (state window, index pairs, static
+        # energies) is reused across the whole finite-difference stencil and
+        # all profile/optimisation scans instead of being rebuilt per point.
+        self._session = None
+        self._session_key = None
 
     def _stationary_current(self, gate_voltage: float, offset: float) -> float:
         """Master-equation drain current at one (gate bias, probe offset) point."""
-        from ..master.steadystate import MasterEquationSolver
+        from ..engines import BiasPoint, get_engine
 
-        # The cache is keyed on the public operating attributes so mutating
-        # drain_voltage / temperature between calls rebuilds the solver (as
-        # the old rebuild-per-call implementation implicitly guaranteed).
-        key = (self.drain_voltage, self.temperature)
-        if self._solver is None or self._solver_key != key:
-            self._circuit = self.transistor.build_circuit(
-                drain_voltage=self.drain_voltage, gate_voltage=gate_voltage,
-                background_charge=self.transistor.background_charge + offset)
-            self._solver = MasterEquationSolver(self._circuit,
-                                                temperature=self.temperature)
-            self._solver_key = key
-        else:
-            self._circuit.set_source_voltage(GATE_SOURCE, float(gate_voltage))
-            self._circuit.set_offset_charge(
-                ISLAND, self.transistor.background_charge + offset)
-        return self._solver.current(DRAIN_JUNCTION)
+        # The session is keyed on the public operating attributes so
+        # mutating temperature between calls rebinds (as the old
+        # rebuild-per-call implementation implicitly guaranteed); the drain
+        # bias travels with every BiasPoint, so mutating it needs no rebind.
+        key = self.temperature
+        if self._session is None or self._session_key != key:
+            self._session = get_engine("master").bind(
+                self.transistor, temperature=self.temperature)
+            self._session_key = key
+        bias = BiasPoint(
+            gate_voltage=float(gate_voltage),
+            drain_voltage=float(self.drain_voltage),
+            offset_charge=self.transistor.background_charge + offset)
+        return self._session.solve(bias).current
 
     # ------------------------------------------------------------ sensitivity
 

@@ -1,0 +1,463 @@
+"""The canonical simulation API: engines, bound sessions, common results.
+
+The paper's central argument is that single-electron design needs *both*
+simulator families — fast SPICE-style compact models and physics-complete
+stochastic simulators — behind one device description.  This module is the
+contract that makes the combination real:
+
+* an :class:`Engine` describes one backend: :meth:`Engine.capabilities`
+  exposes the flags callers introspect instead of hard-coding engine names
+  (exactness class, stochasticity, ensemble support, a rough cost model),
+  and :meth:`Engine.bind` turns a device plus operating conditions into a
+  :class:`Session`;
+* a :class:`Session` is the *bound* compute object.  It owns whatever warm
+  state the backend accumulates — a compact model, a master-equation solver
+  with its cached transition structure, a Monte-Carlo simulator with its
+  event tables and warm trajectory — so that :meth:`Session.solve`,
+  :meth:`Session.sweep` and :meth:`Session.stream` are structure-reusing by
+  construction;
+* every engine returns the same data model: :class:`Observables` for one
+  bias point and :class:`SweepResult` for a sweep, which bridges directly to
+  the :class:`~repro.io.results.SweepRecord` archives the scenario layer
+  stores.
+
+Concrete engines live in :mod:`repro.engines.adapters` and are resolved by
+name through :mod:`repro.engines.registry` (``get_engine``/``list_engines``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..devices.set_transistor import SETTransistor
+from ..errors import ValidationError
+from ..io.results import SweepRecord
+
+#: Exactness classes an engine may declare (coarsest physics first).
+EXACTNESS_APPROXIMATE = "approximate-sequential"
+EXACTNESS_EXACT_SEQUENTIAL = "exact-sequential"
+EXACTNESS_STOCHASTIC_FULL = "stochastic-complete"
+
+EXACTNESS_CLASSES = (EXACTNESS_APPROXIMATE, EXACTNESS_EXACT_SEQUENTIAL,
+                     EXACTNESS_STOCHASTIC_FULL)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Order-of-magnitude cost estimates for planning and engine selection.
+
+    The numbers are *rules of thumb* distilled from the repository's
+    ``BENCH_*.json`` measurements on the reference SET — they rank engines
+    against each other; they are not per-machine predictions.
+
+    Parameters
+    ----------
+    setup_s:
+        One-off cost of :meth:`Engine.bind` plus the first solve (circuit
+        construction, table building, factorisation), in seconds.
+    per_point_s:
+        Marginal cost of one additional bias point in a bound session, in
+        seconds.
+    """
+
+    setup_s: float
+    per_point_s: float
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What one engine can do, for callers that introspect instead of guess.
+
+    Parameters
+    ----------
+    name:
+        Registry name of the engine.
+    exactness:
+        One of :data:`EXACTNESS_CLASSES` — the fidelity class of the
+        physics the engine evaluates.
+    stochastic:
+        Whether results are statistical estimates carrying standard errors
+        (``True`` implies :attr:`Observables.stderr` is populated).
+    supports_ensemble:
+        Whether the engine advances batched replicas and derives error bars
+        from the replica spread.
+    supports_temperature_array:
+        Whether bound sessions implement :meth:`Session.temperature_sweep`
+        — evaluating one bias point across a whole temperature array in a
+        single cheap call (closed-form models only, today).
+    cost:
+        Rough :class:`CostModel` used for documentation and ``auto``
+        engine selection.
+    description:
+        One-line summary shown by ``python -m repro engines``.
+    """
+
+    name: str
+    exactness: str
+    stochastic: bool
+    supports_ensemble: bool
+    supports_temperature_array: bool
+    cost: CostModel
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.exactness not in EXACTNESS_CLASSES:
+            raise ValidationError(
+                f"unknown exactness class {self.exactness!r}; choose from "
+                f"{EXACTNESS_CLASSES}")
+
+    def flags(self) -> Dict[str, bool]:
+        """The boolean capability flags as a plain dict (CLI/JSON output)."""
+        return {
+            "stochastic": self.stochastic,
+            "supports_ensemble": self.supports_ensemble,
+            "supports_temperature_array": self.supports_temperature_array,
+        }
+
+
+@dataclass(frozen=True)
+class BiasPoint:
+    """One operating point of a bound session.
+
+    Parameters
+    ----------
+    gate_voltage:
+        Gate bias in volt.
+    drain_voltage:
+        Drain bias in volt.
+    offset_charge:
+        Optional island offset charge in coulomb, overriding the session's
+        bound background charge for this point only (electrometer-style
+        charge probing).
+    """
+
+    gate_voltage: float
+    drain_voltage: float
+    offset_charge: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SweepAxes:
+    """The axes of one :meth:`Session.sweep` call: a gate sweep at fixed drain.
+
+    Parameters
+    ----------
+    gate_voltages:
+        Gate bias values to visit, in order, in volt.
+    drain_voltage:
+        Fixed drain bias in volt.
+    """
+
+    gate_voltages: Tuple[float, ...]
+    drain_voltage: float
+
+    def __init__(self, gate_voltages: Sequence[float],
+                 drain_voltage: float) -> None:
+        # ndarray.tolist() yields Python floats far faster than a per-value
+        # float() loop — this constructor sits on the dispatch fast path.
+        values = tuple(np.asarray(gate_voltages, dtype=float).ravel().tolist())
+        if not values:
+            raise ValidationError("sweep axes need at least one gate voltage")
+        object.__setattr__(self, "gate_voltages", values)
+        object.__setattr__(self, "drain_voltage", float(drain_voltage))
+
+    @property
+    def gates(self) -> np.ndarray:
+        """The gate axis as a float array."""
+        return np.asarray(self.gate_voltages, dtype=float)
+
+    def __len__(self) -> int:
+        """Number of sweep points."""
+        return len(self.gate_voltages)
+
+    def bias_points(self) -> Iterator[BiasPoint]:
+        """The axes as an ordered iterator of :class:`BiasPoint`."""
+        for gate in self.gate_voltages:
+            yield BiasPoint(gate_voltage=gate,
+                            drain_voltage=self.drain_voltage)
+
+
+@dataclass(frozen=True)
+class Observables:
+    """What one solved bias point produced, uniformly across engines.
+
+    Parameters
+    ----------
+    current:
+        Drain current in ampere.
+    stderr:
+        Standard error of the current for stochastic engines; ``None`` for
+        the deterministic ones.
+    engine:
+        Name of the engine that produced the value.
+    extras:
+        Optional named auxiliary scalars (events executed, replica count,
+        ...), engine-specific but always JSON-able floats.
+    """
+
+    current: float
+    stderr: Optional[float] = None
+    engine: str = ""
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The uniform product of one :meth:`Session.sweep` call.
+
+    Parameters
+    ----------
+    axes:
+        The swept axes.
+    currents:
+        Drain currents in ampere, one per gate point.
+    stderrs:
+        Per-point standard errors for stochastic engines, else ``None``.
+    engine:
+        Name of the engine that ran the sweep.
+    """
+
+    axes: SweepAxes
+    currents: np.ndarray
+    stderrs: Optional[np.ndarray]
+    engine: str
+
+    def __post_init__(self) -> None:
+        currents = np.asarray(self.currents, dtype=float)
+        object.__setattr__(self, "currents", currents)
+        if self.stderrs is not None:
+            stderrs = np.asarray(self.stderrs, dtype=float)
+            object.__setattr__(self, "stderrs", stderrs)
+            if stderrs.shape != currents.shape:
+                raise ValidationError(
+                    f"stderrs shape {stderrs.shape} does not match currents "
+                    f"shape {currents.shape}")
+        if currents.shape != (len(self.axes),):
+            raise ValidationError(
+                f"currents shape {currents.shape} does not match the "
+                f"{len(self.axes)}-point sweep axes")
+
+    @property
+    def gates(self) -> np.ndarray:
+        """The swept gate values as a float array."""
+        return self.axes.gates
+
+    def __len__(self) -> int:
+        """Number of sweep points."""
+        return len(self.axes)
+
+    def __iter__(self) -> Iterator[Tuple[float, Observables]]:
+        """Iterate ``(gate_voltage, Observables)`` pairs in sweep order."""
+        for position, gate in enumerate(self.axes.gate_voltages):
+            yield gate, self.point(position)
+
+    def point(self, position: int) -> Observables:
+        """The :class:`Observables` of one sweep point by index."""
+        stderr = None if self.stderrs is None \
+            else float(self.stderrs[position])
+        return Observables(current=float(self.currents[position]),
+                           stderr=stderr, engine=self.engine)
+
+    def astuple(self) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """``(gates, currents, stderrs)`` — the legacy ``id_vg`` tuple form."""
+        return self.gates, self.currents, self.stderrs
+
+    def record(self, name: str, sweep_label: str = "V_gate [V]",
+               trace_label: str = "I_drain [A]",
+               metadata: Optional[Dict[str, str]] = None) -> SweepRecord:
+        """Bridge to the archival :class:`~repro.io.results.SweepRecord`.
+
+        Parameters
+        ----------
+        name:
+            Record identifier.
+        sweep_label, trace_label:
+            Axis labels for the archived CSV/JSON.
+        metadata:
+            Extra string metadata; the engine name is always included.
+
+        Returns
+        -------
+        repro.io.results.SweepRecord
+            The sweep with its current trace (plus a stderr trace for
+            stochastic engines) and metadata.
+        """
+        traces = {trace_label: self.currents}
+        if self.stderrs is not None:
+            traces[f"stderr {trace_label}"] = self.stderrs
+        merged = {"engine": self.engine}
+        merged.update(metadata or {})
+        return SweepRecord(name=name, sweep_label=sweep_label,
+                           sweep_values=self.gates, traces=traces,
+                           metadata=merged)
+
+
+class Session(abc.ABC):
+    """A backend bound to one device and one set of operating conditions.
+
+    Sessions own the backend's warm state (solvers, tables, trajectories),
+    so repeated :meth:`solve` calls and whole :meth:`sweep`/:meth:`stream`
+    runs reuse structure instead of rebuilding it per point.  Obtain one via
+    :meth:`Engine.bind`; sessions are single-threaded objects — bind one per
+    worker if you parallelise outside :meth:`sweep`'s own ``workers`` fan-out.
+
+    Parameters
+    ----------
+    engine_name:
+        Registry name of the engine that bound this session.
+    device:
+        The bound SET device (``None`` for sessions wrapping a bare compact
+        model, see :meth:`repro.engines.adapters.AnalyticSession.from_model`).
+    temperature:
+        Operating temperature in kelvin.
+    background_charge:
+        Island offset charge in coulomb (``None``: the device's own).
+    """
+
+    def __init__(self, engine_name: str, device: Optional[SETTransistor],
+                 temperature: float,
+                 background_charge: Optional[float] = None) -> None:
+        self.engine_name = engine_name
+        self.device = device
+        self.temperature = float(temperature)
+        self.background_charge = background_charge
+
+    @abc.abstractmethod
+    def solve(self, bias: BiasPoint) -> Observables:
+        """Solve one bias point and return its :class:`Observables`."""
+
+    @abc.abstractmethod
+    def sweep(self, axes: SweepAxes, *, workers: int = 1) -> SweepResult:
+        """Run a gate sweep on the engine's fast path.
+
+        Every adapter keeps this on the backend's structure-reusing
+        machinery: one broadcast evaluation for the analytic model, a
+        transition-table-reusing sweep for the master equation, and
+        warm-started (optionally replica-batched) sweeps for the
+        Monte-Carlo family.
+
+        Parameters
+        ----------
+        axes:
+            Gate axis plus fixed drain bias.
+        workers:
+            Worker processes for point fan-out (``1`` = in-process).
+
+        Returns
+        -------
+        SweepResult
+            Currents (and, for stochastic engines, standard errors) over
+            the gate axis.
+        """
+
+    def temperature_sweep(self, bias: BiasPoint,
+                          temperatures: Sequence[float]) -> np.ndarray:
+        """Drain currents at one bias point across many temperatures.
+
+        Only engines whose capabilities declare
+        ``supports_temperature_array`` implement this; the default raises
+        so callers can rely on the capability flag instead of trying.
+
+        Parameters
+        ----------
+        bias:
+            The fixed operating point.
+        temperatures:
+            Temperatures in kelvin.
+
+        Returns
+        -------
+        numpy.ndarray
+            Drain currents in ampere, one per temperature.
+        """
+        raise ValidationError(
+            f"engine {self.engine_name!r} does not support temperature "
+            "arrays (capabilities().supports_temperature_array is False); "
+            "bind one session per temperature instead")
+
+    def stream(self, axes: SweepAxes) -> Iterator[Tuple[float, Observables]]:
+        """Iterate the sweep incrementally, yielding each point as computed.
+
+        The default implementation solves point by point through
+        :meth:`solve` — consumers see partial results immediately (progress
+        bars, early stopping) while still profiting from whatever warm
+        state :meth:`solve` reuses.
+
+        Parameters
+        ----------
+        axes:
+            Gate axis plus fixed drain bias.
+
+        Yields
+        ------
+        (gate_voltage, Observables)
+            One pair per sweep point, in axis order.
+        """
+        for bias in axes.bias_points():
+            yield bias.gate_voltage, self.solve(bias)
+
+
+class Engine(abc.ABC):
+    """One simulation backend, resolvable by name through the registry.
+
+    Engines are stateless factories: :meth:`capabilities` describes the
+    backend, :meth:`bind` creates the stateful :class:`Session` that
+    actually computes.
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = ""
+
+    @abc.abstractmethod
+    def capabilities(self) -> EngineCapabilities:
+        """The engine's capability declaration (see :class:`EngineCapabilities`)."""
+
+    @abc.abstractmethod
+    def bind(self, device: SETTransistor, *, temperature: float,
+             seed: Optional[int] = None,
+             background_charge: Optional[float] = None,
+             max_events: int = 20_000, warmup_events: int = 1_000,
+             replicas: int = 0) -> Session:
+        """Bind the engine to a device and operating conditions.
+
+        Parameters
+        ----------
+        device:
+            The SET device to simulate.
+        temperature:
+            Operating temperature in kelvin.
+        seed:
+            Root seed for stochastic engines (ignored by deterministic
+            ones, accepted uniformly so callers need no per-engine cases).
+        background_charge:
+            Island offset charge in coulomb (``None``: the device's own).
+        max_events, warmup_events:
+            Per-estimate event budgets for stochastic engines.
+        replicas:
+            Replica count for ensemble-capable engines.
+
+        Returns
+        -------
+        Session
+            The bound, structure-reusing compute session.
+        """
+
+
+__all__ = [
+    "BiasPoint",
+    "CostModel",
+    "EXACTNESS_APPROXIMATE",
+    "EXACTNESS_CLASSES",
+    "EXACTNESS_EXACT_SEQUENTIAL",
+    "EXACTNESS_STOCHASTIC_FULL",
+    "Engine",
+    "EngineCapabilities",
+    "Observables",
+    "Session",
+    "SweepAxes",
+    "SweepResult",
+]

@@ -31,7 +31,7 @@ from .registry import (
 )
 from .result import ResultTable, ScenarioResult
 from .runner import ScenarioRunner, default_cache_dir
-from .spec import Budget, ENGINES, ScenarioSpec, SweepAxis
+from .spec import Budget, ENGINES, ScenarioSpec, SweepAxis, known_engine_names
 
 __all__ = [
     "Budget",
@@ -46,6 +46,7 @@ __all__ = [
     "default_cache_dir",
     "get_scenario",
     "iter_scenarios",
+    "known_engine_names",
     "register_scenario",
     "run_scenario",
     "scenario_names",

@@ -1,53 +1,64 @@
-"""Engine selection and cross-engine dispatch for scenario runs.
+"""Engine selection and session binding for scenario runs.
 
-This is the first layer that sees all four engines at once.  It owns two
-things:
+The execution machinery itself lives in :mod:`repro.engines` — the
+:class:`~repro.engines.base.Engine` protocol, the bound
+:class:`~repro.engines.base.Session` objects, and the registry.  This module
+is the thin scenario-side glue:
 
-* :func:`select_engine` — the documented heuristic that resolves
-  ``engine="auto"`` for a spec (see ``docs/engines.md`` for the crossover
-  numbers behind the rules);
-* :class:`EngineContext` — the execution context handed to every scenario
-  compute function.  Its :meth:`EngineContext.id_vg` runs a gate sweep
-  through whichever engine was selected, always on that engine's fast path:
-  structure-reusing sweeps for the master equation, warm-started
-  event-table-carrying sweeps for Monte Carlo, batched replicas for the
-  ensemble engine, and one broadcast evaluation for the analytic model.
+* :func:`select_engine` resolves ``engine="auto"`` for a spec by
+  *capability introspection* over the registry (stochasticity, ensemble
+  support, exactness class, cost model) — no engine names are hard-coded in
+  the selection rules;
+* :class:`EngineContext` hands every scenario compute function a
+  pre-resolved engine plus :meth:`EngineContext.session` /
+  :meth:`EngineContext.sweep` conveniences that fold the spec's seed and
+  budget into :meth:`~repro.engines.base.Engine.bind`.
+
+The pre-protocol entry points (:meth:`EngineContext.id_vg`,
+:func:`analytic_model_for`) keep working as thin deprecation shims; see the
+migration guide in ``docs/engines.md``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..devices.set_transistor import (
-    DRAIN_JUNCTION,
-    GATE_SOURCE,
-    SETTransistor,
+from ..devices.set_transistor import SETTransistor
+from ..engines import (
+    EXACTNESS_APPROXIMATE,
+    Session,
+    SweepAxes,
+    SweepResult,
+    get_engine,
+    list_engines,
 )
 from ..errors import ValidationError
-from .spec import ENGINES, ScenarioSpec
+from .spec import ScenarioSpec
 
 #: Observable name fragments that mark a scenario as intrinsically
-#: stochastic: it needs trajectories / error bars, so only the Monte-Carlo
-#: family can produce it.
+#: stochastic: it needs trajectories / error bars, so only engines whose
+#: capabilities declare ``stochastic`` can produce it.
 _STOCHASTIC_MARKERS = ("stderr", "noise", "bits", "entropy", "telegraph",
                       "trajectory")
 
-#: Above this many sweep points the smooth analytic model is preferred for
-#: ``auto`` scenarios that tolerate the sequential-tunnelling approximation
-#: (compact sweeps cost microseconds per point versus milliseconds for a
-#: master-equation solve — the ~100x gap measured in BENCH_master.json).
+#: Above this many sweep points the cheapest approximate engine is preferred
+#: for ``auto`` scenarios that tolerate the sequential-tunnelling
+#: approximation (compact sweeps cost microseconds per point versus
+#: milliseconds for a master-equation solve — the ~100x gap measured in
+#: BENCH_master.json).
 _ANALYTIC_POINT_CUTOFF = 4096
 
 
 def analytic_model_for(device: SETTransistor, temperature: float,
                        background_charge: Optional[float] = None):
-    """The compact-model twin of a :class:`SETTransistor`.
+    """Deprecated alias of :func:`repro.engines.analytic_model_for`.
 
-    One place owns the parameter mapping (junction/gate capacitances,
-    resistances, offset charge), so the ``analytic`` engine path and
-    scenarios that build compact models directly cannot drift apart.
+    .. deprecated::
+        Import :func:`repro.engines.analytic_model_for` (or bind the
+        ``analytic`` engine via :func:`repro.engines.get_engine`) instead.
 
     Parameters
     ----------
@@ -63,36 +74,80 @@ def analytic_model_for(device: SETTransistor, temperature: float,
     repro.compact.set_model.AnalyticSETModel
         The equivalent analytic model.
     """
-    from ..compact.set_model import AnalyticSETModel
+    from ..engines.adapters import analytic_model_for as _impl
 
-    return AnalyticSETModel(
-        drain_capacitance=device.c_drain,
-        source_capacitance=device.c_source,
-        gate_capacitance=device.gate_capacitance,
-        drain_resistance=device.r_drain,
-        source_resistance=device.r_source,
-        background_charge=(device.background_charge
-                           if background_charge is None
-                           else background_charge),
-        temperature=float(temperature))
+    warnings.warn(
+        "repro.scenarios.engines.analytic_model_for is deprecated; use "
+        "repro.engines.analytic_model_for (or get_engine('analytic').bind)",
+        DeprecationWarning, stacklevel=2)
+    return _impl(device, temperature, background_charge=background_charge)
+
+
+def _cheapest(engines):
+    """The engine with the lowest declared per-point cost.
+
+    Ties between capability-equivalent candidates (e.g. a third-party
+    backend alongside a built-in) are resolved by the cost model, not by
+    registry order, so registering an extra engine never silently hijacks
+    ``auto`` selection unless it also declares itself cheaper.
+    """
+    return min(engines,
+               key=lambda engine: engine.capabilities().cost.per_point_s)
+
+
+def _stochastic_engine_name(replicas: int) -> str:
+    """The stochastic engine matching a replica budget, by capability.
+
+    Replica budgets >= 2 want an ensemble-capable stochastic engine
+    (replica spread beats block averaging at equal cost); otherwise a
+    plain single-trajectory one.
+    """
+    stochastic = [engine for engine in list_engines()
+                  if engine.capabilities().stochastic]
+    if not stochastic:
+        raise ValidationError("no stochastic engine registered")
+    want_ensemble = replicas >= 2
+    matching = [engine for engine in stochastic
+                if engine.capabilities().supports_ensemble == want_ensemble]
+    return _cheapest(matching or stochastic).name
+
+
+def _cheapest_approximate_name() -> Optional[str]:
+    """The cheapest-per-point approximate engine, or ``None`` if none exists."""
+    approximate = [engine for engine in list_engines()
+                   if engine.capabilities().exactness == EXACTNESS_APPROXIMATE]
+    if not approximate:
+        return None
+    return _cheapest(approximate).name
+
+
+def _exact_deterministic_name() -> str:
+    """The exact deterministic engine (the heuristic's default answer)."""
+    candidates = [engine for engine in list_engines()
+                  if not engine.capabilities().stochastic
+                  and engine.capabilities().exactness != EXACTNESS_APPROXIMATE]
+    if not candidates:
+        raise ValidationError("no exact deterministic engine registered")
+    return _cheapest(candidates).name
 
 
 def select_engine(spec: ScenarioSpec) -> str:
     """Resolve a spec's engine request to a concrete engine name.
 
-    The heuristic, in priority order:
+    The heuristic works purely on registry capability introspection
+    (:meth:`repro.engines.base.Engine.capabilities`), in priority order:
 
     1. an explicit engine request wins;
     2. stochastic observables (``*stderr*``, ``*noise*``, ``*bits*``, ...)
-       need trajectories: ``ensemble`` when the budget carries >= 2
-       replicas (replica spread beats block averaging at equal cost),
-       otherwise ``montecarlo``;
+       need trajectories: the ensemble-capable stochastic engine when the
+       budget carries >= 2 replicas (replica spread beats block averaging
+       at equal cost), otherwise the single-trajectory one;
     3. very large sweeps (> 4096 points) that a scenario marked as
        approximation-tolerant (``params["fidelity"] == "fast"``) go to the
-       ``analytic`` compact model;
-    4. everything else gets the ``master`` equation — exact sequential
-       tunnelling, and its sparse structure-reusing path keeps even
-       10^4-state windows routine.
+       cheapest approximate engine;
+    4. everything else gets the exact deterministic engine — exact
+       sequential tunnelling, and its sparse structure-reusing path keeps
+       even 10^4-state windows routine.
 
     Parameters
     ----------
@@ -102,22 +157,24 @@ def select_engine(spec: ScenarioSpec) -> str:
     Returns
     -------
     str
-        One of ``"montecarlo"``, ``"ensemble"``, ``"master"``,
-        ``"analytic"``.
+        A concrete registered engine name (with the built-in registry: one
+        of ``"montecarlo"``, ``"ensemble"``, ``"master"``, ``"analytic"``).
     """
     if spec.engine != "auto":
         return spec.engine
     observed = " ".join(spec.observables).lower()
     if any(marker in observed for marker in _STOCHASTIC_MARKERS):
-        return "ensemble" if spec.budget.replicas >= 2 else "montecarlo"
+        return _stochastic_engine_name(spec.budget.replicas)
     total_points = 1
     for axis in spec.sweeps:
         total_points *= (len(axis.values) if axis.values is not None
                          else max(axis.points, 1))
     if (spec.params.get("fidelity") == "fast"
             and total_points > _ANALYTIC_POINT_CUTOFF):
-        return "analytic"
-    return "master"
+        approximate = _cheapest_approximate_name()
+        if approximate is not None:
+            return approximate
+    return _exact_deterministic_name()
 
 
 class EngineContext:
@@ -134,8 +191,9 @@ class EngineContext:
     def __init__(self, spec: ScenarioSpec, log=None) -> None:
         self.spec = spec
         self.engine = select_engine(spec)
-        if self.engine not in ENGINES or self.engine == "auto":
+        if self.engine == "auto":
             raise ValidationError(f"unresolvable engine {self.engine!r}")
+        get_engine(self.engine)   # unknown names fail here, not mid-compute
         self._log = log
 
     def log(self, message: str) -> None:
@@ -143,7 +201,7 @@ class EngineContext:
         if self._log is not None:
             self._log(message)
 
-    # ------------------------------------------------------------- dispatch
+    # ------------------------------------------------------------- sessions
 
     def transistor(self, **overrides) -> SETTransistor:
         """Build the spec's SET device (``spec.device`` plus overrides)."""
@@ -151,19 +209,87 @@ class EngineContext:
         parameters.update(overrides)
         return SETTransistor(**parameters)
 
+    def session(self, device: Optional[SETTransistor] = None, *,
+                temperature: Optional[float] = None,
+                background_charge: Optional[float] = None) -> Session:
+        """Bind the selected engine to a device under the spec's conditions.
+
+        The spec's seed and budget (event counts, replicas) are folded into
+        :meth:`~repro.engines.base.Engine.bind`, so every scenario gets the
+        same reproducible binding regardless of which engine was resolved.
+
+        Parameters
+        ----------
+        device:
+            The SET to bind (default: :meth:`transistor`).
+        temperature:
+            Override of ``spec.temperature``, in kelvin.
+        background_charge:
+            Optional island offset charge in coulomb.
+
+        Returns
+        -------
+        repro.engines.base.Session
+            The bound, structure-reusing session.
+        """
+        budget = self.spec.budget
+        return get_engine(self.engine).bind(
+            device if device is not None else self.transistor(),
+            temperature=(self.spec.temperature if temperature is None
+                         else float(temperature)),
+            seed=self.spec.seed,
+            background_charge=background_charge,
+            max_events=budget.max_events,
+            warmup_events=budget.warmup_events,
+            replicas=budget.replicas)
+
+    def sweep(self, device: SETTransistor, gate_voltages: Sequence[float],
+              drain_voltage: float, *,
+              temperature: Optional[float] = None,
+              background_charge: Optional[float] = None) -> SweepResult:
+        """Gate sweep of the drain current through the selected engine.
+
+        Binds a fresh session (see :meth:`session`) and runs
+        :meth:`~repro.engines.base.Session.sweep` with the spec budget's
+        worker fan-out — every engine stays on its fast path by
+        construction.
+
+        Parameters
+        ----------
+        device:
+            The SET to sweep.
+        gate_voltages:
+            Gate bias values, in volt.
+        drain_voltage:
+            Fixed drain bias, in volt.
+        temperature:
+            Override of ``spec.temperature``.
+        background_charge:
+            Optional island offset charge in coulomb.
+
+        Returns
+        -------
+        repro.engines.base.SweepResult
+            Currents (and, for stochastic engines, standard errors) over
+            the gate axis.
+        """
+        bound = self.session(device, temperature=temperature,
+                             background_charge=background_charge)
+        axes = SweepAxes(gate_voltages, drain_voltage)
+        return bound.sweep(axes, workers=self.spec.budget.workers)
+
+    # ------------------------------------------------------ deprecated shims
+
     def id_vg(self, device: SETTransistor, gate_voltages: Sequence[float],
               drain_voltage: float,
               temperature: Optional[float] = None,
               background_charge: Optional[float] = None
               ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
-        """Gate sweep of the drain current through the selected engine.
+        """Deprecated tuple-returning alias of :meth:`sweep`.
 
-        Every engine runs on its fast path: the analytic model evaluates the
-        whole sweep in one broadcast call, the master equation reuses its
-        transition-table structure across points, and the Monte-Carlo paths
-        carry a warm simulation state (and, for ``ensemble``, a batch of
-        replicas) from one bias point to the next.  Worker fan-out follows
-        ``spec.budget.workers``.
+        .. deprecated::
+            Call :meth:`sweep` (or bind a session directly) and use the
+            returned :class:`~repro.engines.base.SweepResult`.
 
         Parameters
         ----------
@@ -184,44 +310,13 @@ class EngineContext:
             Swept voltages, drain currents in ampere, and the per-point
             standard errors (``None`` for the deterministic engines).
         """
-        temperature = self.spec.temperature if temperature is None \
-            else float(temperature)
-        gates = np.asarray(gate_voltages, dtype=float)
-        budget = self.spec.budget
-        if self.engine == "analytic":
-            model = analytic_model_for(device, temperature,
-                                       background_charge=background_charge)
-            currents = model.drain_current_map([drain_voltage], gates)[0]
-            return gates, np.asarray(currents, dtype=float), None
-        if self.engine == "master":
-            from ..master.steadystate import MasterEquationSolver
-
-            circuit = device.build_circuit(
-                drain_voltage=drain_voltage,
-                gate_voltage=float(gates[0]),
-                background_charge=background_charge)
-            solver = MasterEquationSolver(circuit, temperature=temperature)
-            _, currents = solver.sweep_source(GATE_SOURCE, gates,
-                                              DRAIN_JUNCTION,
-                                              workers=budget.workers)
-            return gates, currents, None
-        # Monte-Carlo family (single trajectory or batched replicas).
-        from ..montecarlo.simulator import MonteCarloSimulator
-
-        circuit = device.build_circuit(drain_voltage=drain_voltage,
-                                       gate_voltage=float(gates[0]),
-                                       background_charge=background_charge)
-        simulator = MonteCarloSimulator(circuit, temperature=temperature,
-                                        seed=self.spec.seed)
-        replicas = None
-        if self.engine == "ensemble":
-            replicas = max(2, budget.replicas)
-        _, currents, stderrs = simulator.sweep_source(
-            GATE_SOURCE, gates, DRAIN_JUNCTION,
-            max_events=budget.max_events,
-            warmup_events=budget.warmup_events,
-            warm_start=True, workers=budget.workers, ensemble=replicas)
-        return gates, currents, stderrs
+        warnings.warn(
+            "EngineContext.id_vg is deprecated; use EngineContext.sweep "
+            "(which returns a repro.engines.SweepResult)",
+            DeprecationWarning, stacklevel=2)
+        return self.sweep(device, gate_voltages, drain_voltage,
+                          temperature=temperature,
+                          background_charge=background_charge).astuple()
 
 
 __all__ = ["EngineContext", "analytic_model_for", "select_engine"]

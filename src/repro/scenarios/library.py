@@ -55,12 +55,12 @@ def _compute_coulomb_oscillations(spec: ScenarioSpec,
     result.metrics["gate_period_theory_V"] = device.gate_period
     sweeps: Dict[float, np.ndarray] = {}
     for fraction in offsets:
-        _, currents, _ = context.id_vg(device, gates, drain_voltage,
-                                       background_charge=fraction * E_CHARGE)
-        sweeps[fraction] = currents
+        swept = context.sweep(device, gates, drain_voltage,
+                              background_charge=fraction * E_CHARGE)
+        sweeps[fraction] = swept.currents
         result.records.append(SweepRecord(
             name=f"id_vg_q{fraction:g}", sweep_label="V_gate [V]",
-            sweep_values=gates, traces={"I_drain [A]": currents},
+            sweep_values=gates, traces={"I_drain [A]": swept.currents},
             metadata={"q0_e": f"{fraction:g}", "engine": context.engine}))
 
     rows = []
@@ -506,52 +506,40 @@ def _compute_simulator_comparison(spec: ScenarioSpec,
                                   context: EngineContext) -> ScenarioResult:
     """Compact-model versus master-equation versus Monte-Carlo engines."""
     from ..circuit import Circuit
+    from ..engines import SweepAxes, analytic_model_for, get_engine
     from ..master import MasterEquationSolver
     from ..montecarlo import MonteCarloSimulator
-    from .engines import analytic_model_for
 
     device = context.transistor()
     gates = spec.axis("VG").grid()
     drain_voltage = float(spec.params["drain_voltage"])
     temperature = spec.temperature
+    axes = SweepAxes(gates, drain_voltage)
 
     def compact_model(model_temperature):
         """The spec's device expressed as the analytic compact model."""
         return analytic_model_for(device, model_temperature)
 
-    def sweep_compact():
-        """Gate sweep through the analytic model (one broadcast call)."""
-        return compact_model(temperature).drain_current_map(
-            [drain_voltage], gates)[0]
-
-    def sweep_master():
-        """Gate sweep through the structure-reusing master equation."""
-        _, currents = device.id_vg(gates, drain_voltage, temperature)
-        return currents
-
-    def sweep_monte_carlo():
-        """Gate sweep through the warm-started Monte-Carlo engine."""
-        simulator = MonteCarloSimulator(
-            device.build_circuit(drain_voltage=drain_voltage),
-            temperature=temperature, seed=spec.seed)
-        _, currents, _ = simulator.sweep_source(
-            "VG", gates, "J_drain",
+    def sweep_with(engine_name):
+        """One registry-resolved bind + fast-path sweep of the device."""
+        session = get_engine(engine_name).bind(
+            device, temperature=temperature, seed=spec.seed,
             max_events=spec.budget.max_events,
             warmup_events=spec.budget.warmup_events)
-        return currents
+        return session.sweep(axes).currents
 
     result = _new_result(spec, context)
     timed = {}
-    for label, runner in (("compact", sweep_compact),
-                          ("master", sweep_master),
-                          ("monte_carlo", sweep_monte_carlo)):
+    for label, engine_name in (("compact", "analytic"),
+                               ("master", "master"),
+                               ("monte_carlo", "montecarlo")):
         # One untimed warm-up call per engine: the comparison is about
         # steady-state sweep cost, not first-call import/compilation and
         # table-construction overhead (which would otherwise dominate the
         # microsecond-scale compact path in a cold process).
-        runner()
+        sweep_with(engine_name)
         start = time.perf_counter()
-        currents = runner()
+        currents = sweep_with(engine_name)
         timed[label] = (time.perf_counter() - start, currents)
         result.records.append(SweepRecord(
             name=f"id_vg_{label}", sweep_label="V_gate [V]",
@@ -837,8 +825,8 @@ def _compute_electrometer(spec: ScenarioSpec,
         name="sensitivity_profile", sweep_label="V_gate [V]",
         sweep_values=gate_voltages,
         traces={"sensitivity [e/sqrt(Hz)]":
-                [r.sensitivity_e_per_sqrt_hz for r in profile],
-                "I_drain [A]": [r.current for r in profile]},
+                np.asarray([r.sensitivity_e_per_sqrt_hz for r in profile]),
+                "I_drain [A]": np.asarray([r.current for r in profile])},
         metadata={"temperature_K": f"{spec.temperature:g}"}))
     result.notes.append(
         f"best operating point: Vg = {best.gate_voltage * 1e3:.1f} mV, "

@@ -16,16 +16,32 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import ValidationError
 from ..io.results import content_hash
 
-#: The engine names a spec may request.  ``"auto"`` defers the choice to
-#: :func:`repro.scenarios.engines.select_engine`.
+#: The built-in engine names a spec may request.  ``"auto"`` defers the
+#: choice to :func:`repro.scenarios.engines.select_engine`.  Validation goes
+#: through :func:`known_engine_names`, so engines registered with
+#: :func:`repro.engines.register_engine` are accepted too — this tuple is
+#: the documented built-in set (and the CLI's completion hint), not the
+#: source of truth.
 ENGINES = ("auto", "montecarlo", "ensemble", "master", "analytic")
+
+
+def known_engine_names() -> Tuple[str, ...]:
+    """``("auto",)`` plus every engine currently in the registry.
+
+    The single source of truth for spec-level engine validation: a backend
+    registered via :func:`repro.engines.register_engine` becomes a legal
+    ``ScenarioSpec.engine`` value immediately.
+    """
+    from ..engines.registry import engine_names
+
+    return ("auto",) + tuple(engine_names())
 
 
 @dataclass(frozen=True)
@@ -166,7 +182,9 @@ class ScenarioSpec:
     name:
         Registry name of the scenario (``snake_case``).
     engine:
-        One of :data:`ENGINES`; ``"auto"`` lets the runner pick.
+        Any registered engine name, or ``"auto"`` to let the runner pick
+        (see :func:`known_engine_names`; the built-ins are
+        :data:`ENGINES`).
     temperature:
         Operating temperature in kelvin.
     device:
@@ -194,14 +212,15 @@ class ScenarioSpec:
     observables: Tuple[str, ...] = ()
     seed: int = 1
     budget: Budget = field(default_factory=Budget)
-    params: Mapping[str, object] = field(default_factory=dict)
+    params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValidationError("scenario spec needs a name")
-        if self.engine not in ENGINES:
+        known = known_engine_names()
+        if self.engine not in known:
             raise ValidationError(
-                f"unknown engine {self.engine!r}; choose from {ENGINES}")
+                f"unknown engine {self.engine!r}; choose from {known}")
         object.__setattr__(self, "device", dict(self.device))
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "sweeps", tuple(self.sweeps))
@@ -375,4 +394,5 @@ def _read_maybe_path(source: Union[str, Path]) -> str:
     return str(source)
 
 
-__all__ = ["Budget", "ENGINES", "ScenarioSpec", "SweepAxis"]
+__all__ = ["Budget", "ENGINES", "ScenarioSpec", "SweepAxis",
+           "known_engine_names"]

@@ -100,20 +100,26 @@ class TestVisibility:
         with pytest.raises(AnalysisError):
             oscillation_visibility(1e-18, -1.0)
 
-    def test_batched_sweep_matches_scalar_loop(self):
-        # The batched drain_current_map path must reproduce the original
-        # per-point Python loop exactly.
+    def test_session_sweep_matches_scalar_loop(self):
+        # The analytic engine session's broadcast sweep must reproduce the
+        # per-point scalar evaluation exactly.
+        from repro.engines import SweepAxes
+        from repro.engines.adapters import AnalyticSession
+
         model = AnalyticSETModel(temperature=5.0)
         drain = 0.1 * 1.602176634e-19 / model.total_capacitance
         gates = np.linspace(0.0, model.gate_period, 41)
         scalar = np.array([model.drain_current(drain, vg) for vg in gates])
-        from repro.analysis.temperature import _gate_sweep_currents
-        batched = _gate_sweep_currents(model, drain, gates)
+        batched = AnalyticSession.from_model(model).sweep(
+            SweepAxes(gates, drain)).currents
         assert np.allclose(batched, scalar, rtol=1e-12, atol=0.0)
 
-    def test_scalar_only_models_still_work(self):
-        # Duck-typed models without drain_current_map or array support fall
-        # back to the per-point loop.
+    def test_scalar_only_models_are_rejected_with_a_clear_error(self):
+        # The scalar duck-type fallback is gone: models must expose the
+        # broadcast drain_current_map interface (all repro.compact SET
+        # models do).
+        from repro.errors import ValidationError
+
         reference = AnalyticSETModel(temperature=5.0)
 
         class ScalarOnly:
@@ -125,6 +131,5 @@ class TestVisibility:
                     raise TypeError("scalar only")
                 return reference.drain_current(vd, vg, source_voltage)
 
-        full = simulated_oscillation_visibility(reference, 5.0)
-        ducked = simulated_oscillation_visibility(ScalarOnly(), 5.0)
-        assert ducked == pytest.approx(full, rel=1e-12)
+        with pytest.raises(ValidationError, match="drain_current_map"):
+            simulated_oscillation_visibility(ScalarOnly(), 5.0)

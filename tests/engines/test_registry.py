@@ -1,0 +1,133 @@
+"""Tests for the engine registry and capability declarations."""
+
+import pytest
+
+from repro.engines import (
+    EXACTNESS_CLASSES,
+    CostModel,
+    Engine,
+    EngineCapabilities,
+    engine_names,
+    get_engine,
+    list_engines,
+    register_engine,
+)
+from repro.errors import ValidationError
+
+
+class TestRegistry:
+    def test_builtin_engines_are_registered(self):
+        assert {"analytic", "ensemble", "master",
+                "montecarlo"} <= set(engine_names())
+
+    def test_get_engine_resolves_every_listed_engine(self):
+        for engine in list_engines():
+            assert get_engine(engine.name) is engine
+
+    def test_unknown_engine_raises_with_the_known_names(self):
+        with pytest.raises(ValidationError, match="registered engines"):
+            get_engine("spice")
+
+    def test_registration_is_idempotent(self):
+        engine = get_engine("master")
+        assert register_engine(engine) is engine
+        assert engine_names().count("master") == 1
+
+    def test_registering_the_class_instead_of_an_instance_is_rejected(self):
+        class Classy(Engine):
+            name = "_classy"
+
+            def capabilities(self):
+                raise NotImplementedError
+
+            def bind(self, device, *, temperature, seed=None,
+                     background_charge=None, max_events=20_000,
+                     warmup_events=1_000, replicas=0):
+                raise NotImplementedError
+
+        with pytest.raises(ValidationError, match="instance"):
+            register_engine(Classy)
+
+    def test_unnamed_engine_is_rejected(self):
+        class Nameless(Engine):
+            def capabilities(self):
+                raise NotImplementedError
+
+            def bind(self, device, *, temperature, seed=None,
+                     background_charge=None, max_events=20_000,
+                     warmup_events=1_000, replicas=0):
+                raise NotImplementedError
+
+        with pytest.raises(ValidationError, match="registry name"):
+            register_engine(Nameless())
+
+    def test_custom_engine_registration_and_cleanup(self):
+        class Custom(Engine):
+            name = "_custom_test_engine"
+
+            def capabilities(self):
+                return EngineCapabilities(
+                    name=self.name, exactness="exact-sequential",
+                    stochastic=False, supports_ensemble=False,
+                    supports_temperature_array=False,
+                    cost=CostModel(setup_s=1.0, per_point_s=1.0))
+
+            def bind(self, device, *, temperature, seed=None,
+                     background_charge=None, max_events=20_000,
+                     warmup_events=1_000, replicas=0):
+                raise NotImplementedError
+
+        try:
+            register_engine(Custom())
+            assert "_custom_test_engine" in engine_names()
+            assert get_engine("_custom_test_engine").capabilities().name \
+                == "_custom_test_engine"
+            # A registered engine is immediately a legal spec engine — the
+            # spec layer validates against the registry, not a static list.
+            from repro.scenarios import ScenarioSpec, known_engine_names
+
+            assert "_custom_test_engine" in known_engine_names()
+            spec = ScenarioSpec(name="_custom_spec",
+                                engine="_custom_test_engine")
+            assert spec.engine == "_custom_test_engine"
+        finally:
+            from repro.engines import unregister_engine
+
+            assert unregister_engine("_custom_test_engine")
+            assert not unregister_engine("_custom_test_engine")
+
+
+class TestCapabilityDeclarations:
+    def test_every_engine_declares_valid_capabilities(self):
+        for engine in list_engines():
+            caps = engine.capabilities()
+            assert caps.name == engine.name
+            assert caps.exactness in EXACTNESS_CLASSES
+            assert caps.cost.setup_s > 0.0
+            assert caps.cost.per_point_s > 0.0
+            assert caps.description
+            assert set(caps.flags()) == {"stochastic", "supports_ensemble",
+                                         "supports_temperature_array"}
+
+    def test_unknown_exactness_class_is_rejected(self):
+        with pytest.raises(ValidationError, match="exactness"):
+            EngineCapabilities(name="x", exactness="magic",
+                               stochastic=False, supports_ensemble=False,
+                               supports_temperature_array=False,
+                               cost=CostModel(setup_s=1.0, per_point_s=1.0))
+
+    def test_ensemble_support_implies_stochastic(self):
+        for engine in list_engines():
+            caps = engine.capabilities()
+            if caps.supports_ensemble:
+                assert caps.stochastic
+
+    def test_spec_engine_tuple_matches_the_registry(self):
+        # The documented built-in ENGINES tuple must be a subset of what
+        # the registry-backed validation accepts (plus "auto"), and every
+        # built-in must actually be registered.
+        from repro.scenarios.spec import ENGINES, known_engine_names
+
+        assert set(ENGINES) <= set(known_engine_names())
+        assert set(ENGINES) - {"auto"} <= set(engine_names())
+        assert "auto" in known_engine_names()

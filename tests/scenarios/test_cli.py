@@ -111,6 +111,28 @@ def test_compare_runs_one_scenario_across_engines(tmp_path, capsys):
     assert "gate_period_theory_V" in output
 
 
+def test_engines_lists_every_registered_engine_with_flags(capsys):
+    assert main(["engines"]) == 0
+    output = capsys.readouterr().out
+    for name in ("analytic", "master", "montecarlo", "ensemble"):
+        assert name in output
+    assert "exactness" in output
+    assert "stochastic-complete" in output
+    assert "get_engine" in output
+
+
+def test_engines_json_carries_capabilities_and_cost(capsys):
+    assert main(["engines", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    names = {entry["name"] for entry in payload}
+    assert {"analytic", "ensemble", "master", "montecarlo"} <= names
+    for entry in payload:
+        assert {"exactness", "stochastic", "supports_ensemble",
+                "supports_temperature_array", "cost",
+                "description"} <= set(entry)
+        assert entry["cost"]["per_point_s"] > 0
+
+
 def test_compare_rejects_unknown_engine(capsys):
     assert main(["compare", "coulomb_oscillations", "--engines",
                  "spice"]) == 2

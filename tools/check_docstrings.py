@@ -34,6 +34,10 @@ SCOPED_MODULES = [
     "src/repro/cli.py",
     "src/repro/__main__.py",
     "src/repro/io/results.py",
+    "src/repro/engines/__init__.py",
+    "src/repro/engines/base.py",
+    "src/repro/engines/adapters.py",
+    "src/repro/engines/registry.py",
     "src/repro/scenarios/__init__.py",
     "src/repro/scenarios/engines.py",
     "src/repro/scenarios/library.py",
@@ -64,6 +68,13 @@ SECTIONED_CALLABLES = {
     ("src/repro/compact/set_model.py", "TunableSETModel.drain_current_map"),
     ("src/repro/scenarios/engines.py", "select_engine"),
     ("src/repro/scenarios/engines.py", "EngineContext.id_vg"),
+    ("src/repro/scenarios/engines.py", "EngineContext.session"),
+    ("src/repro/scenarios/engines.py", "EngineContext.sweep"),
+    ("src/repro/engines/base.py", "Engine.bind"),
+    ("src/repro/engines/base.py", "Session.sweep"),
+    ("src/repro/engines/base.py", "SweepResult.record"),
+    ("src/repro/engines/registry.py", "get_engine"),
+    ("src/repro/engines/adapters.py", "analytic_model_for"),
     ("src/repro/scenarios/runner.py", "ScenarioRunner.run"),
     ("src/repro/scenarios/registry.py", "run_scenario"),
     ("src/repro/io/results.py", "ResultCache.load"),
