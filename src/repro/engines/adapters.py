@@ -11,7 +11,13 @@ Each adapter wraps one existing backend without re-implementing any physics:
   warm-started sweeps carrying event tables and trajectory state across
   bias points;
 * ``ensemble`` — the same simulator advancing ``R`` batched replicas, with
-  replica-spread error bars.
+  replica-spread error bars;
+* ``montecarlo-jit`` / ``ensemble-jit`` — the same simulator with the
+  compiled advance loop of :mod:`repro.montecarlo.jit` (numba or a
+  C/ctypes build, interpreted fallback otherwise).  They replay the numpy
+  engines bit for bit at any given seed and declare themselves
+  ``available`` only when a native backend loaded, so capability-based
+  selection adopts them exactly when the speedup is real.
 
 The adapters are registered with :mod:`repro.engines.registry` on import;
 resolve them with :func:`repro.engines.get_engine` rather than instantiating
@@ -383,7 +389,8 @@ class MonteCarloSession(_CircuitSession):
                  background_charge: Optional[float] = None,
                  max_events: int = 20_000,
                  warmup_events: int = 1_000,
-                 engine_name: Optional[str] = None) -> None:
+                 engine_name: Optional[str] = None,
+                 jit: bool = False) -> None:
         from ..montecarlo.simulator import MonteCarloSimulator
 
         super().__init__(engine_name or MonteCarloEngine.name, device,
@@ -393,7 +400,7 @@ class MonteCarloSession(_CircuitSession):
         self.warmup_events = int(warmup_events)
         self.simulator = MonteCarloSimulator(self._circuit,
                                              temperature=self.temperature,
-                                             seed=seed)
+                                             seed=seed, jit=jit)
 
     def solve(self, bias: BiasPoint) -> Observables:
         """Stationary-current estimate at one bias point, with error bar."""
@@ -401,7 +408,7 @@ class MonteCarloSession(_CircuitSession):
         estimate = self.simulator.stationary_current(
             DRAIN_JUNCTION, max_events=self.max_events,
             warmup_events=self.warmup_events,
-            replicas=self.replicas if self.replicas >= 2 else None)
+            replicas=self.replicas if self.replicas >= 1 else None)
         return Observables(current=float(estimate.mean),
                            stderr=float(estimate.stderr),
                            engine=self.engine_name,
@@ -428,24 +435,34 @@ class MonteCarloSession(_CircuitSession):
             GATE_SOURCE, axes.gates, DRAIN_JUNCTION,
             max_events=self.max_events, warmup_events=self.warmup_events,
             warm_start=True, workers=workers,
-            ensemble=self.replicas if self.replicas >= 2 else None)
+            ensemble=self.replicas if self.replicas >= 1 else None)
         return SweepResult(axes=axes, currents=currents, stderrs=stderrs,
                            engine=self.engine_name)
 
 
 class EnsembleSession(MonteCarloSession):
-    """Bound batched-replica Monte-Carlo session (replica-spread error bars)."""
+    """Bound batched-replica Monte-Carlo session (replica-spread error bars).
+
+    ``replicas`` below 1 is coerced to the smallest statistically useful
+    ensemble (2); an explicit ``replicas=1`` is honoured, giving an
+    ensemble run that replays the single-trajectory engine bit for bit at
+    the same seed (with an infinite error bar, as one replica carries no
+    spread information).
+    """
 
     def __init__(self, device: SETTransistor, temperature: float,
                  seed: Optional[int] = None,
                  background_charge: Optional[float] = None,
                  max_events: int = 20_000, warmup_events: int = 1_000,
-                 replicas: int = 2) -> None:
+                 replicas: int = 2,
+                 engine_name: Optional[str] = None,
+                 jit: bool = False) -> None:
         super().__init__(device, temperature, seed=seed,
                          background_charge=background_charge,
                          max_events=max_events, warmup_events=warmup_events,
-                         engine_name=EnsembleEngine.name)
-        self.replicas = max(2, int(replicas))
+                         engine_name=engine_name or EnsembleEngine.name,
+                         jit=jit)
+        self.replicas = int(replicas) if int(replicas) >= 1 else 2
 
 
 class MonteCarloEngine(Engine):
@@ -508,20 +525,113 @@ class EnsembleEngine(Engine):
                                replicas=replicas)
 
 
+# ======================================================================
+# montecarlo-jit / ensemble-jit
+# ======================================================================
+
+
+class MonteCarloJitEngine(Engine):
+    """Single-trajectory kinetic Monte Carlo on the compiled advance loop.
+
+    Same physics, estimators, and random stream as ``montecarlo`` — a
+    seeded session replays the numpy engine event for event — but the
+    inner loop runs in a numba- or C-compiled kernel.  The engine is
+    registered unconditionally and declares ``available=False`` when no
+    native backend could be loaded, so capability-based selection falls
+    back to the numpy engine instead of paying the interpreted shim.
+    """
+
+    name = "montecarlo-jit"
+
+    def capabilities(self) -> EngineCapabilities:
+        """Like ``montecarlo``, but cheaper per point when a backend loaded."""
+        from ..montecarlo.jit import jit_backend, jit_compiled
+
+        return EngineCapabilities(
+            name=self.name,
+            exactness=EXACTNESS_STOCHASTIC_FULL,
+            stochastic=True,
+            supports_ensemble=False,
+            supports_temperature_array=False,
+            cost=CostModel(setup_s=5e-3, per_point_s=5e-4),
+            available=jit_compiled(),
+            description="kinetic Monte Carlo on a compiled advance loop "
+                        f"(backend: {jit_backend()}); bit-identical to "
+                        "'montecarlo' at any seed")
+
+    def bind(self, device: SETTransistor, *, temperature: float,
+             seed: Optional[int] = None,
+             background_charge: Optional[float] = None,
+             max_events: int = 20_000, warmup_events: int = 1_000,
+             replicas: int = 0) -> MonteCarloSession:
+        """Bind a compiled single-trajectory session (``replicas`` ignored)."""
+        return MonteCarloSession(device, temperature, seed=seed,
+                                 background_charge=background_charge,
+                                 max_events=max_events,
+                                 warmup_events=warmup_events,
+                                 engine_name=self.name, jit=True)
+
+
+class EnsembleJitEngine(Engine):
+    """Batched multi-replica Monte Carlo on the compiled advance loop.
+
+    Replicas advance sequentially through the compiled kernel, so an
+    ``R = 1`` session replays the scalar engines bit for bit; larger
+    ensembles agree statistically (the lockstep numpy interleaving
+    consumes the random stream in a different order).  Registered
+    unconditionally; ``available=False`` without a native backend.
+    """
+
+    name = "ensemble-jit"
+
+    def capabilities(self) -> EngineCapabilities:
+        """Like ``ensemble``, but cheaper per point when a backend loaded."""
+        from ..montecarlo.jit import jit_backend, jit_compiled
+
+        return EngineCapabilities(
+            name=self.name,
+            exactness=EXACTNESS_STOCHASTIC_FULL,
+            stochastic=True,
+            supports_ensemble=True,
+            supports_temperature_array=False,
+            cost=CostModel(setup_s=1e-2, per_point_s=1e-4),
+            available=jit_compiled(),
+            description="R-replica Monte Carlo on a compiled advance loop "
+                        f"(backend: {jit_backend()}); replica-spread error "
+                        "bars")
+
+    def bind(self, device: SETTransistor, *, temperature: float,
+             seed: Optional[int] = None,
+             background_charge: Optional[float] = None,
+             max_events: int = 20_000, warmup_events: int = 1_000,
+             replicas: int = 2) -> EnsembleSession:
+        """Bind a compiled replica-batched session (``replicas < 1`` → 2)."""
+        return EnsembleSession(device, temperature, seed=seed,
+                               background_charge=background_charge,
+                               max_events=max_events,
+                               warmup_events=warmup_events,
+                               replicas=replicas,
+                               engine_name=self.name, jit=True)
+
+
 register_engine(AnalyticEngine())
 register_engine(MasterEngine())
 register_engine(MonteCarloEngine())
 register_engine(EnsembleEngine())
+register_engine(MonteCarloJitEngine())
+register_engine(EnsembleJitEngine())
 
 
 __all__ = [
     "AnalyticEngine",
     "AnalyticSession",
     "EnsembleEngine",
+    "EnsembleJitEngine",
     "EnsembleSession",
     "MasterEngine",
     "MasterSession",
     "MonteCarloEngine",
+    "MonteCarloJitEngine",
     "MonteCarloSession",
     "analytic_model_for",
 ]

@@ -94,6 +94,12 @@ class EngineCapabilities:
         engine selection.
     description:
         One-line summary shown by ``python -m repro engines``.
+    available:
+        Whether the engine's backend is usable in this process.  Engines
+        with optional dependencies (e.g. the JIT engines' native advance
+        loop) register unconditionally but declare ``available=False``
+        when the dependency is missing, so capability-based selection
+        skips them and scripts can detect them without importing anything.
     """
 
     name: str
@@ -103,6 +109,7 @@ class EngineCapabilities:
     supports_temperature_array: bool
     cost: CostModel
     description: str = ""
+    available: bool = True
 
     def __post_init__(self) -> None:
         if self.exactness not in EXACTNESS_CLASSES:
@@ -116,6 +123,7 @@ class EngineCapabilities:
             "stochastic": self.stochastic,
             "supports_ensemble": self.supports_ensemble,
             "supports_temperature_array": self.supports_temperature_array,
+            "available": self.available,
         }
 
 

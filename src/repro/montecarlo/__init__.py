@@ -6,6 +6,7 @@ from .cotunneling import (
     intermediate_energies,
 )
 from .events import CotunnelCandidate, TrapCandidate, TunnelCandidate
+from .jit import jit_backend, jit_compiled, resolve_advance
 from .kernel import Candidate, EnsembleStep, KernelStep, MonteCarloKernel
 from .observables import (
     CurrentEstimate,
@@ -45,4 +46,7 @@ __all__ = [
     "initial_ensemble",
     "initial_state",
     "intermediate_energies",
+    "jit_backend",
+    "jit_compiled",
+    "resolve_advance",
 ]

@@ -1,0 +1,540 @@
+"""Compiled hot loop for the kinetic Monte-Carlo kernel.
+
+The pure-numpy fast path in :mod:`repro.montecarlo.kernel` pays Python-level
+dispatch once per event (scalar path) or once per macro-step (ensemble path).
+This module compiles the *entire* inner loop — rate-table lookup, cumulative-
+row event selection, configuration update, transfer accounting and time
+accumulation — into a single native function that runs thousands of events
+per call over the flat arrays exported by the kernel's
+``_EnsembleCursor`` mirrors.
+
+Backend ladder
+--------------
+Three interchangeable implementations of the same advance loop exist, picked
+at first use (override with ``REPRO_JIT_BACKEND``):
+
+``numba``
+    :func:`numba.njit` with ``cache=True`` applied to the *same* Python
+    source as the interpreted fallback, so the compiled artefact shares the
+    tested control flow line for line.  Optional — the import is gated, not
+    ``try/except``-ed at call sites.
+``cc``
+    A line-for-line C translation compiled on demand with the system C
+    compiler (``cc``/``gcc``) into a per-source-hash shared library loaded
+    through :mod:`ctypes`.  No third-party dependency; IEEE semantics are
+    preserved (no ``-ffast-math``), which is what makes the seeded replay
+    tests bit-exact.
+``python``
+    The interpreted loop itself.  Always available; slow, but the
+    correctness reference for the re-entry protocol.
+
+:func:`jit_compiled` reports whether a *native* backend (numba or cc) is
+active — that is the availability flag the ``montecarlo-jit`` /
+``ensemble-jit`` engines expose through capability introspection, so
+``select_engine`` adopts them only when the speedup is real.
+
+Re-entry protocol
+-----------------
+The native loop cannot call back into Python (for RNG block refills or
+lazy successor linking), so it runs until it either finishes or needs the
+driver, returning a status code:
+
+========================  ====================================================
+``STATUS_DONE``           budget exhausted (events or duration)
+``STATUS_BLOCKED``        no event has a positive rate and no time budget
+``STATUS_NEED_EXP``       the exponential block buffer is exhausted
+``STATUS_NEED_UNIFORM``   the uniform block buffer is exhausted
+``STATUS_NEED_LINK``      a (configuration, event) transition is unlinked
+========================  ====================================================
+
+All resumable state lives in two small register arrays (``ireg``/``freg``,
+see the ``REG_*``/``FREG_*`` indices) so the driver can refill a buffer or
+link a successor and re-enter mid-event.  Buffer refills happen exactly at
+the consumption points, preserving the scalar path's interleaved draw order
+from the shared generator — the property that makes an event-for-event
+replay of :meth:`MonteCarloKernel.step` possible.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+#: Status codes returned by every backend's advance loop.
+STATUS_DONE = 0
+STATUS_BLOCKED = 1
+STATUS_NEED_EXP = 2
+STATUS_NEED_UNIFORM = 3
+STATUS_NEED_LINK = 4
+
+#: ``ireg`` (int64) register layout shared by all backends.
+REG_SLOT = 0            #: current cursor slot
+REG_EVENTS = 1          #: events executed this run
+REG_EXP_POS = 2         #: read position in the exponential block buffer
+REG_UNI_POS = 3         #: read position in the uniform block buffer
+REG_PENDING_EVENT = 4   #: selected-but-unapplied event index (-1: none)
+REG_STALLS = 5          #: consecutive zero-progress iterations
+IREG_SIZE = 6
+
+#: ``freg`` (float64) register layout shared by all backends.
+FREG_TIME = 0           #: simulated clock
+FREG_PENDING_WAIT = 1   #: drawn-but-unapplied waiting time (-1.0: none)
+FREG_START = 2          #: clock value at run start
+FREG_DURATION = 3       #: time budget (+inf: unbounded)
+FREG_SIZE = 4
+
+#: Recognised ``REPRO_JIT_BACKEND`` values.
+BACKEND_NUMBA = "numba"
+BACKEND_CC = "cc"
+BACKEND_PYTHON = "python"
+_BACKENDS = (BACKEND_NUMBA, BACKEND_CC, BACKEND_PYTHON)
+
+_ENV_BACKEND = "REPRO_JIT_BACKEND"
+_ENV_CACHE_DIR = "REPRO_JIT_CACHE_DIR"
+
+_INF = float("inf")
+
+
+def _advance_py(totals, cumulative, last_selectable, successor_slots,
+                transfer_matrix, transfers, exp_buf, uni_buf,
+                ireg, freg, max_events):
+    """Advance the trajectory until done or the driver is needed.
+
+    One call executes as many events as the register state, the random
+    block buffers and the linked successor matrix allow, mutating
+    ``transfers``/``ireg``/``freg`` in place and returning a ``STATUS_*``
+    code.  This is the canonical implementation: the numba backend compiles
+    exactly this function and the C backend is its line-for-line
+    translation, so all three consume the random stream identically.
+    """
+    n_events = cumulative.shape[1]
+    n_junctions = transfer_matrix.shape[1]
+    slot = ireg[REG_SLOT]
+    events = ireg[REG_EVENTS]
+    exp_pos = ireg[REG_EXP_POS]
+    uni_pos = ireg[REG_UNI_POS]
+    pending_event = ireg[REG_PENDING_EVENT]
+    stalls = ireg[REG_STALLS]
+    time = freg[FREG_TIME]
+    wait = freg[FREG_PENDING_WAIT]
+    start = freg[FREG_START]
+    duration = freg[FREG_DURATION]
+    exp_len = exp_buf.shape[0]
+    uni_len = uni_buf.shape[0]
+    bounded = duration < _INF
+    status = STATUS_DONE
+    while True:
+        if wait < 0.0:
+            # Start a new event: budget checks, blockade handling, waiting
+            # time — the same order as the scalar run()/step() pair.
+            if events >= max_events:
+                status = STATUS_DONE
+                break
+            if bounded and time - start >= duration:
+                status = STATUS_DONE
+                break
+            total = totals[slot]
+            if total <= 0.0:
+                if bounded:
+                    remaining = duration - (time - start)
+                    time = time + remaining
+                    if time - start >= duration:
+                        status = STATUS_DONE
+                        break
+                    stalls += 1
+                    if stalls > 3:
+                        status = STATUS_DONE
+                        break
+                    continue
+                stalls += 1
+                if stalls > 3:
+                    status = STATUS_BLOCKED
+                    break
+                continue
+            if exp_pos >= exp_len:
+                status = STATUS_NEED_EXP
+                break
+            wait = exp_buf[exp_pos] / total
+            exp_pos += 1
+            if bounded:
+                remaining = duration - (time - start)
+                if wait > remaining:
+                    # Censored: burn the remaining budget, apply nothing.
+                    time = time + remaining
+                    wait = -1.0
+                    if time - start >= duration:
+                        status = STATUS_DONE
+                        break
+                    stalls += 1
+                    if stalls > 3:
+                        status = STATUS_DONE
+                        break
+                    continue
+        if pending_event < 0:
+            if uni_pos >= uni_len:
+                status = STATUS_NEED_UNIFORM
+                break
+            threshold = uni_buf[uni_pos] * totals[slot]
+            uni_pos += 1
+            # count(cumulative <= threshold) over the non-decreasing row is
+            # exactly searchsorted(..., side="right"), clamped to the last
+            # positive-rate event as in the scalar path.
+            index = 0
+            while index < n_events and cumulative[slot, index] <= threshold:
+                index += 1
+            last = last_selectable[slot]
+            if index > last:
+                index = last
+        else:
+            index = pending_event
+            pending_event = -1
+        successor = successor_slots[slot, index]
+        if successor < 0:
+            pending_event = index
+            status = STATUS_NEED_LINK
+            break
+        time = time + wait
+        for junction in range(n_junctions):
+            transfers[junction] = transfers[junction] \
+                + transfer_matrix[index, junction]
+        slot = successor
+        events += 1
+        stalls = 0
+        wait = -1.0
+    ireg[REG_SLOT] = slot
+    ireg[REG_EVENTS] = events
+    ireg[REG_EXP_POS] = exp_pos
+    ireg[REG_UNI_POS] = uni_pos
+    ireg[REG_PENDING_EVENT] = pending_event
+    ireg[REG_STALLS] = stalls
+    freg[FREG_TIME] = time
+    freg[FREG_PENDING_WAIT] = wait
+    return status
+
+
+# ----------------------------------------------------------------- C backend
+
+#: Line-for-line C translation of :func:`_advance_py`.  Compiled without any
+#: fast-math flag: IEEE double semantics must match numpy scalar arithmetic
+#: exactly for the seeded replay tests to hold bit for bit.
+_C_SOURCE = r"""
+#include <math.h>
+
+long long repro_mc_advance(
+    const double *totals,
+    const double *cumulative,
+    const long long *last_selectable,
+    const long long *successor_slots,
+    const double *transfer_matrix,
+    double *transfers,
+    const double *exp_buf, long long exp_len,
+    const double *uni_buf, long long uni_len,
+    long long *ireg, double *freg,
+    long long max_events, long long n_events, long long n_junctions)
+{
+    long long slot = ireg[0];
+    long long events = ireg[1];
+    long long exp_pos = ireg[2];
+    long long uni_pos = ireg[3];
+    long long pending_event = ireg[4];
+    long long stalls = ireg[5];
+    double time = freg[0];
+    double wait = freg[1];
+    double start = freg[2];
+    double duration = freg[3];
+    int bounded = isfinite(duration);
+    long long status = 0;  /* DONE */
+    for (;;) {
+        if (wait < 0.0) {
+            if (events >= max_events) { status = 0; break; }
+            if (bounded && time - start >= duration) { status = 0; break; }
+            double total = totals[slot];
+            if (total <= 0.0) {
+                if (bounded) {
+                    double remaining = duration - (time - start);
+                    time = time + remaining;
+                    if (time - start >= duration) { status = 0; break; }
+                    stalls += 1;
+                    if (stalls > 3) { status = 0; break; }
+                    continue;
+                }
+                stalls += 1;
+                if (stalls > 3) { status = 1; break; }  /* BLOCKED */
+                continue;
+            }
+            if (exp_pos >= exp_len) { status = 2; break; }  /* NEED_EXP */
+            wait = exp_buf[exp_pos] / total;
+            exp_pos += 1;
+            if (bounded) {
+                double remaining = duration - (time - start);
+                if (wait > remaining) {
+                    time = time + remaining;
+                    wait = -1.0;
+                    if (time - start >= duration) { status = 0; break; }
+                    stalls += 1;
+                    if (stalls > 3) { status = 0; break; }
+                    continue;
+                }
+            }
+        }
+        long long index;
+        if (pending_event < 0) {
+            if (uni_pos >= uni_len) { status = 3; break; }  /* NEED_UNIFORM */
+            double threshold = uni_buf[uni_pos] * totals[slot];
+            uni_pos += 1;
+            const double *row = cumulative + slot * n_events;
+            index = 0;
+            while (index < n_events && row[index] <= threshold) index += 1;
+            long long last = last_selectable[slot];
+            if (index > last) index = last;
+        } else {
+            index = pending_event;
+            pending_event = -1;
+        }
+        long long successor = successor_slots[slot * n_events + index];
+        if (successor < 0) {
+            pending_event = index;
+            status = 4;  /* NEED_LINK */
+            break;
+        }
+        time = time + wait;
+        const double *transfer_row = transfer_matrix + index * n_junctions;
+        for (long long junction = 0; junction < n_junctions; junction++)
+            transfers[junction] = transfers[junction]
+                + transfer_row[junction];
+        slot = successor;
+        events += 1;
+        stalls = 0;
+        wait = -1.0;
+    }
+    ireg[0] = slot;
+    ireg[1] = events;
+    ireg[2] = exp_pos;
+    ireg[3] = uni_pos;
+    ireg[4] = pending_event;
+    ireg[5] = stalls;
+    freg[0] = time;
+    freg[1] = wait;
+    return status;
+}
+"""
+
+
+def _cc_cache_dir() -> Path:
+    """Directory holding compiled shared libraries, keyed by source hash."""
+    override = os.environ.get(_ENV_CACHE_DIR)
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return Path(base) / "repro-jit"
+
+
+def _find_compiler() -> Optional[str]:
+    """The system C compiler to use, or ``None`` when none is on PATH."""
+    import shutil
+
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _compile_cc_library() -> Optional[Path]:
+    """Compile (or reuse) the shared library of the C advance loop.
+
+    Returns the library path, or ``None`` when no compiler is available or
+    the build fails — the caller then falls through to the next backend.
+    """
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    for directory in (_cc_cache_dir(), Path(tempfile.gettempdir()) / "repro-jit"):
+        library = directory / f"mc_advance_{digest}.so"
+        if library.exists():
+            return library
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            source = directory / f"mc_advance_{digest}.c"
+            source.write_text(_C_SOURCE)
+            scratch = directory / f".mc_advance_{digest}.{os.getpid()}.so"
+            subprocess.run(
+                [compiler, "-O2", "-fPIC", "-shared", "-o", str(scratch),
+                 str(source), "-lm"],
+                check=True, capture_output=True, timeout=120)
+            os.replace(scratch, library)  # atomic against concurrent builds
+            return library
+        except (OSError, subprocess.SubprocessError):
+            continue
+    return None
+
+
+def _load_cc_advance() -> Optional[Callable]:
+    """Build, load, and wrap the C backend; ``None`` on any failure."""
+    library_path = _compile_cc_library()
+    if library_path is None:
+        return None
+    try:
+        library = ctypes.CDLL(str(library_path))
+        native = library.repro_mc_advance
+    except (OSError, AttributeError):
+        return None
+    double_p = ctypes.POINTER(ctypes.c_double)
+    int64_p = ctypes.POINTER(ctypes.c_longlong)
+    int64 = ctypes.c_longlong
+    native.restype = int64
+    native.argtypes = [double_p, double_p, int64_p, int64_p, double_p,
+                       double_p, double_p, int64, double_p, int64,
+                       int64_p, double_p, int64, int64, int64]
+
+    def advance(totals, cumulative, last_selectable, successor_slots,
+                transfer_matrix, transfers, exp_buf, uni_buf,
+                ireg, freg, max_events):
+        """ctypes shim matching :func:`_advance_py`'s signature."""
+        return int(native(
+            totals.ctypes.data_as(double_p),
+            cumulative.ctypes.data_as(double_p),
+            last_selectable.ctypes.data_as(int64_p),
+            successor_slots.ctypes.data_as(int64_p),
+            transfer_matrix.ctypes.data_as(double_p),
+            transfers.ctypes.data_as(double_p),
+            exp_buf.ctypes.data_as(double_p), int64(exp_buf.shape[0]),
+            uni_buf.ctypes.data_as(double_p), int64(uni_buf.shape[0]),
+            ireg.ctypes.data_as(int64_p),
+            freg.ctypes.data_as(double_p),
+            int64(max_events), int64(cumulative.shape[1]),
+            int64(transfer_matrix.shape[1])))
+
+    return advance
+
+
+def _load_numba_advance() -> Optional[Callable]:
+    """Compile :func:`_advance_py` with numba; ``None`` when unavailable."""
+    try:
+        import numba
+    except ImportError:
+        return None
+    try:
+        return numba.njit(cache=True)(_advance_py)
+    except Exception:  # pragma: no cover - defensive against numba quirks
+        return None
+
+
+# -------------------------------------------------------- backend resolution
+
+_LOADERS: Dict[str, Callable[[], Optional[Callable]]] = {
+    BACKEND_NUMBA: _load_numba_advance,
+    BACKEND_CC: _load_cc_advance,
+    BACKEND_PYTHON: lambda: _advance_py,
+}
+
+#: Resolved ``(name, callable)`` per requested backend (``None`` key = auto).
+_resolved: Dict[Optional[str], Tuple[str, Callable]] = {}
+
+
+def resolve_advance(backend: Optional[str] = None) -> Tuple[str, Callable]:
+    """The advance loop of ``backend`` (default: the best available).
+
+    Resolution order for the default request is numba, then the C backend,
+    then the interpreted Python loop (which always succeeds), overridable
+    globally through ``$REPRO_JIT_BACKEND``.  Results are cached per
+    process, so repeated kernels share one compiled artefact.
+
+    Parameters
+    ----------
+    backend:
+        One of ``"numba"``, ``"cc"``, ``"python"``, or ``None`` for the
+        environment-resolved default.
+
+    Returns
+    -------
+    (name, callable):
+        The backend that actually loaded and its advance function.
+
+    Raises
+    ------
+    repro.errors.SimulationError
+        For an unknown backend name, or when an explicitly requested
+        native backend cannot be loaded.
+    """
+    from ..errors import SimulationError
+
+    cached = _resolved.get(backend)
+    if cached is not None:
+        return cached
+    request = backend
+    if request is None:
+        request = os.environ.get(_ENV_BACKEND) or None
+    if request is not None and request not in _BACKENDS:
+        raise SimulationError(
+            f"unknown jit backend {request!r}; choose from {_BACKENDS}")
+    candidates = (request,) if request is not None else (
+        BACKEND_NUMBA, BACKEND_CC, BACKEND_PYTHON)
+    for name in candidates:
+        advance = _LOADERS[name]()
+        if advance is not None:
+            _resolved[backend] = (name, advance)
+            return name, advance
+    raise SimulationError(
+        f"jit backend {request!r} is not available in this environment "
+        "(set REPRO_JIT_BACKEND=python for the interpreted fallback)")
+
+
+def jit_backend() -> str:
+    """Name of the advance-loop backend the default resolution picks."""
+    return resolve_advance()[0]
+
+
+def jit_compiled() -> bool:
+    """Whether a *native* (numba or C) advance loop is active.
+
+    This is the availability flag of the ``montecarlo-jit`` /
+    ``ensemble-jit`` engines: with only the interpreted loop on offer the
+    engines still work but advertise ``available=False`` so capability-based
+    selection keeps preferring the numpy engines.
+    """
+    try:
+        return jit_backend() != BACKEND_PYTHON
+    except Exception:
+        return False
+
+
+def clear_backend_cache() -> None:
+    """Forget resolved backends (tests flip ``REPRO_JIT_BACKEND`` at runtime)."""
+    _resolved.clear()
+
+
+__all__ = [
+    "BACKEND_CC",
+    "BACKEND_NUMBA",
+    "BACKEND_PYTHON",
+    "FREG_DURATION",
+    "FREG_PENDING_WAIT",
+    "FREG_SIZE",
+    "FREG_START",
+    "FREG_TIME",
+    "IREG_SIZE",
+    "REG_EVENTS",
+    "REG_EXP_POS",
+    "REG_PENDING_EVENT",
+    "REG_SLOT",
+    "REG_STALLS",
+    "REG_UNI_POS",
+    "STATUS_BLOCKED",
+    "STATUS_DONE",
+    "STATUS_NEED_EXP",
+    "STATUS_NEED_LINK",
+    "STATUS_NEED_UNIFORM",
+    "clear_backend_cache",
+    "jit_backend",
+    "jit_compiled",
+    "resolve_advance",
+]

@@ -63,6 +63,22 @@ from ..core.rates import (
 from ..errors import SimulationError
 from .cotunneling import CotunnelTable, enumerate_cotunnel_candidates
 from .events import CotunnelCandidate, TrapCandidate, TunnelCandidate
+from .jit import (
+    FREG_DURATION,
+    FREG_PENDING_WAIT,
+    FREG_SIZE,
+    FREG_START,
+    FREG_TIME,
+    IREG_SIZE,
+    REG_EVENTS,
+    REG_EXP_POS,
+    REG_PENDING_EVENT,
+    REG_SLOT,
+    REG_UNI_POS,
+    STATUS_NEED_EXP,
+    STATUS_NEED_LINK,
+    STATUS_NEED_UNIFORM,
+)
 from .state import EnsembleState, SimulationState
 
 Candidate = Union[TunnelCandidate, CotunnelCandidate, TrapCandidate]
@@ -245,17 +261,28 @@ class MonteCarloKernel:
         Number of incrementally-derived configurations between full
         island-potential re-solves on the fast path (bounds floating-point
         drift).  ``1`` re-solves for every new configuration.
+    jit:
+        Enable the compiled advance loop (:mod:`repro.montecarlo.jit`) for
+        :meth:`run_compiled`/:meth:`run_ensemble_compiled`.  ``True`` picks
+        the best available backend (numba, then C, then the interpreted
+        reference loop); a string pins one backend by name.  Requires
+        ``fast_path=True``.
     """
 
     def __init__(self, circuit: Circuit, temperature: float,
                  rng: np.random.Generator,
                  include_cotunneling: bool = False,
                  fast_path: bool = True,
-                 resync_interval: int = 1024) -> None:
+                 resync_interval: int = 1024,
+                 jit: Union[bool, str] = False) -> None:
         if temperature < 0.0:
             raise SimulationError("temperature must be non-negative")
         if resync_interval < 1:
             raise SimulationError("resync_interval must be at least 1")
+        if jit and not fast_path:
+            raise SimulationError(
+                "the compiled advance loop drives the fast-path rate "
+                "tables; jit requires fast_path=True")
         self.circuit = circuit
         self.temperature = float(temperature)
         self.rng = rng
@@ -347,6 +374,28 @@ class MonteCarloKernel:
         self._uniform_buffer = np.empty(0)
         self._uniform_position = 0
         self._random_block = 4096
+
+        # ------------------------------------------------ compiled backend
+        self._jit_backend: Optional[str] = None
+        self._jit_advance = None
+        if jit:
+            from .jit import resolve_advance
+
+            requested = None if jit is True else str(jit)
+            self._jit_backend, self._jit_advance = resolve_advance(requested)
+        #: Cursor reused by :meth:`run_compiled` across calls (same dense
+        #: mirrors as the ensemble cursor, with a single tracked slot).
+        self._scalar_cursor: Optional[_EnsembleCursor] = None
+
+    @property
+    def jit_backend(self) -> Optional[str]:
+        """Name of the active compiled backend, or ``None`` when disabled."""
+        return self._jit_backend
+
+    @property
+    def jit_enabled(self) -> bool:
+        """Whether :meth:`run_compiled`/:meth:`run_ensemble_compiled` work."""
+        return self._jit_advance is not None
 
     # ---------------------------------------------------------------- caches
 
@@ -923,6 +972,176 @@ class MonteCarloKernel:
             slot, event = divmod(int(pair), self._n_events)
             cursor.successor_slots[slot, event] = resolved[position]
         successor[missing] = resolved[inverse.reshape(-1)]
+
+    # ------------------------------------------------------- compiled runs
+
+    def _require_compiled(self) -> None:
+        """Common guards of the compiled entry points."""
+        if self._jit_advance is None:
+            raise SimulationError(
+                "compiled stepping is disabled; construct the kernel with "
+                "jit=True (or a backend name)")
+        if self._n_traps:
+            raise SimulationError(
+                "compiled stepping does not support charge traps; use the "
+                "scalar step() path for telegraph-noise simulations")
+
+    def _scalar_cursor_for(self, electrons: np.ndarray
+                           ) -> Tuple[_EnsembleCursor, int]:
+        """Cursor and slot describing a scalar state's configuration.
+
+        Reuses one cursor across :meth:`run_compiled` calls so the dense
+        mirrors and successor links warm up once; a cache-epoch bump (bias
+        or offset change) rebuilds it from scratch, exactly like the
+        ensemble cursor revalidation.
+        """
+        electrons = np.ascontiguousarray(electrons, dtype=np.int64)
+        key = self._entry_key(electrons)
+        entry = self._rate_cache.get(key)
+        if entry is None:
+            entry = self._build_entry(key, electrons.copy(), None, _TRAPLESS)
+        cursor = self._scalar_cursor
+        if not (isinstance(cursor, _EnsembleCursor)
+                and cursor.epoch == self._cache_epoch):
+            cursor = _EnsembleCursor(self._cache_epoch,
+                                     np.empty(0, dtype=np.int64), [entry],
+                                     self._n_events, self.model.island_count)
+            self._scalar_cursor = cursor
+        slot = cursor.register(entry)
+        cursor.refresh()
+        return cursor, slot
+
+    def _link_compiled(self, cursor: _EnsembleCursor, slot: int,
+                       event: int) -> None:
+        """Resolve one unlinked (configuration, event) transition in place."""
+        parent = cursor.entries[slot]
+        child = parent.successors[event]
+        if child is None:
+            child = self._descend(parent, event, _TRAPLESS)
+            parent.successors[event] = child
+        child_slot = cursor.register(child)
+        cursor.refresh()
+        cursor.successor_slots[slot, event] = child_slot
+
+    def _drive_compiled(self, cursor: _EnsembleCursor, slot: int, time: float,
+                        transfers: np.ndarray, max_events: Optional[int],
+                        duration: Optional[float]) -> Tuple[int, float, int]:
+        """Run the compiled advance loop to completion for one trajectory.
+
+        The native loop returns whenever it needs Python — a random block
+        refill or a successor link — and is re-entered with the updated
+        buffers/cursor arrays (the cursor's dense mirrors are re-fetched
+        per call because :meth:`_EnsembleCursor.refresh` reallocates them).
+        Buffer refills replicate the scalar accessors exactly: refill with
+        one ``_random_block`` draw at the consumption point, restart at
+        position zero.  Returns ``(slot, time, executed_events)``.
+        """
+        advance = self._jit_advance
+        budget = (1 << 62) if max_events is None else int(max_events)
+        ireg = np.zeros(IREG_SIZE, dtype=np.int64)
+        ireg[REG_SLOT] = slot
+        ireg[REG_EXP_POS] = self._exp_position
+        ireg[REG_UNI_POS] = self._uniform_position
+        ireg[REG_PENDING_EVENT] = -1
+        freg = np.zeros(FREG_SIZE)
+        freg[FREG_TIME] = time
+        freg[FREG_PENDING_WAIT] = -1.0
+        freg[FREG_START] = time
+        freg[FREG_DURATION] = np.inf if duration is None else float(duration)
+        while True:
+            status = advance(cursor.totals, cursor.cumulative,
+                             cursor.last_selectable, cursor.successor_slots,
+                             self._transfer_matrix, transfers,
+                             self._exp_buffer, self._uniform_buffer,
+                             ireg, freg, budget)
+            if status == STATUS_NEED_EXP:
+                self._exp_buffer = \
+                    self.rng.standard_exponential(self._random_block)
+                ireg[REG_EXP_POS] = 0
+            elif status == STATUS_NEED_UNIFORM:
+                self._uniform_buffer = self.rng.random(self._random_block)
+                ireg[REG_UNI_POS] = 0
+            elif status == STATUS_NEED_LINK:
+                self._link_compiled(cursor, int(ireg[REG_SLOT]),
+                                    int(ireg[REG_PENDING_EVENT]))
+            else:
+                break
+        self._exp_position = int(ireg[REG_EXP_POS])
+        self._uniform_position = int(ireg[REG_UNI_POS])
+        return (int(ireg[REG_SLOT]), float(freg[FREG_TIME]),
+                int(ireg[REG_EVENTS]))
+
+    def run_compiled(self, state: SimulationState,
+                     max_events: Optional[int] = None,
+                     duration: Optional[float] = None) -> int:
+        """Advance a scalar state through the compiled loop, in place.
+
+        Executes events until the budgets are exhausted, replaying the
+        scalar :meth:`step` trajectory bit for bit (same random stream,
+        same waiting times, same selections, same censoring and blockade
+        semantics).  Returns the number of executed events; ``state`` is
+        updated exactly as a sequence of :meth:`step` calls would have
+        left it.
+        """
+        self._require_compiled()
+        circuit = self.circuit
+        if self._voltages is None or circuit.bias_version != self._bias_version:
+            self._refresh_bias()
+        if self._offsets is None or \
+                circuit.charge_version != self._offsets_version:
+            self._refresh_offsets(state)
+        cursor, slot = self._scalar_cursor_for(state.electrons)
+        transfers = np.zeros(len(self._junction_order))
+        slot, time, events = self._drive_compiled(cursor, slot,
+                                                  float(state.time), transfers,
+                                                  max_events, duration)
+        state.time = time
+        state.electrons = cursor.configurations[slot].copy()
+        tallies = state.electron_transfers
+        for name, column in self._junction_order.items():
+            # The per-event transfer values are small integers, so the
+            # aggregated float sums are exact and match the scalar path's
+            # one-increment-per-event accumulation bitwise.
+            tallies[name] += transfers[column]
+        state.event_count += events
+        return events
+
+    def run_ensemble_compiled(self, ensemble: EnsembleState,
+                              max_events: Optional[int] = None,
+                              duration: Optional[float] = None) -> int:
+        """Advance every replica through the compiled loop, in place.
+
+        Replicas run sequentially (sharing the memoised rate tables and
+        the block random buffers), each to its own per-replica budget; a
+        single-replica ensemble therefore consumes the random stream in
+        exactly the scalar order and replays :meth:`run_compiled` — and by
+        extension the scalar :meth:`step` path — event for event.  Returns
+        the total number of executed events.
+        """
+        self._require_compiled()
+        if self._voltages is None or \
+                self.circuit.bias_version != self._bias_version:
+            self._refresh_bias()
+        if self._offsets is None or \
+                self.circuit.charge_version != self._offsets_version:
+            self._refresh_offsets(_TRAPLESS)
+        cursor = self._ensure_cursor(ensemble)
+        transfers = ensemble.electron_transfers
+        if not transfers.flags.c_contiguous or transfers.dtype != np.float64:
+            transfers = np.ascontiguousarray(transfers, dtype=float)
+            ensemble.electron_transfers = transfers
+        executed = 0
+        for replica in range(ensemble.replica_count):
+            slot, time, events = self._drive_compiled(
+                cursor, int(cursor.slots[replica]),
+                float(ensemble.times[replica]), transfers[replica],
+                max_events, duration)
+            cursor.slots[replica] = slot
+            ensemble.times[replica] = time
+            ensemble.event_counts[replica] += events
+            ensemble.electrons[replica] = cursor.configurations[slot]
+            executed += events
+        return executed
 
     def _step_reference(self, state: SimulationState,
                         max_waiting_time: Optional[float] = None

@@ -205,8 +205,14 @@ class EnsembleResult:
         if not usable.any():
             return CurrentEstimate(mean=0.0, stderr=0.0, blocks=0,
                                    duration=0.0, events=self.total_events)
-        mean, stderr, replicas = block_average(charges[usable],
-                                               self.durations[usable])
+        _, stderr, replicas = block_average(charges[usable],
+                                            self.durations[usable])
+        # The mean as total charge over total duration: mathematically the
+        # duration-weighted replica mean block_average computes, but in the
+        # exact ratio-of-sums form shared with the scalar estimator, so an
+        # R = 1 ensemble and a scalar run at the same seed report
+        # bit-identical currents.
+        mean = float(charges[usable].sum() / self.durations[usable].sum())
         return CurrentEstimate(
             mean=mean,
             stderr=stderr,

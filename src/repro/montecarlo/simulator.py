@@ -76,6 +76,12 @@ class MonteCarloSimulator:
         the scalar reference kernel — slower, kept for cross-checking.
     resync_interval:
         Events between full island-potential re-solves on the fast path.
+    jit:
+        Route trap-free, record-free runs through the kernel's compiled
+        advance loop (:mod:`repro.montecarlo.jit`).  ``True`` picks the
+        best available backend; a string pins one by name.  The compiled
+        paths replay the numpy fast path event for event, so results are
+        bit-identical at any given seed.
     """
 
     def __init__(self, circuit: Circuit, temperature: float,
@@ -83,17 +89,20 @@ class MonteCarloSimulator:
                  include_cotunneling: bool = False,
                  validate: bool = True,
                  fast_path: bool = True,
-                 resync_interval: int = 1024) -> None:
+                 resync_interval: int = 1024,
+                 jit: "bool | str" = False) -> None:
         if validate:
             validate_circuit(circuit).raise_if_invalid()
         self.circuit = circuit
         self.temperature = float(temperature)
         self.seed = seed
+        self.jit = jit
         self.rng = np.random.default_rng(seed)
         self.kernel = MonteCarloKernel(circuit, temperature, self.rng,
                                        include_cotunneling=include_cotunneling,
                                        fast_path=fast_path,
-                                       resync_interval=resync_interval)
+                                       resync_interval=resync_interval,
+                                       jit=jit)
 
     # ------------------------------------------------------------------- runs
 
@@ -138,6 +147,24 @@ class MonteCarloSimulator:
             raise SimulationError("specify max_events and/or duration")
         if state is None:
             state = self.new_state()
+
+        if (self.kernel.jit_enabled and not record_events
+                and occupation is None and not self.kernel.traps):
+            # Compiled fast path: same trajectory, same random stream, no
+            # per-event Python.  Falls back to the loop below whenever a
+            # consumer needs per-event hooks.
+            start_time = state.time
+            start_events = state.event_count
+            self.kernel.run_compiled(state, max_events=max_events,
+                                     duration=duration)
+            return TrajectoryResult(
+                duration=state.time - start_time,
+                event_count=state.event_count - start_events,
+                electron_transfers=dict(state.electron_transfers),
+                final_electrons=state.electron_tuple(),
+                records=[],
+                trap_flips=0,
+            )
 
         start_time = state.time
         start_events = state.event_count
@@ -245,6 +272,21 @@ class MonteCarloSimulator:
         start_times = ensemble.times.copy()
         start_counts = ensemble.event_counts.copy()
         start_transfers = ensemble.electron_transfers.copy()
+        if self.kernel.jit_enabled and not self.kernel.traps:
+            # Compiled path: each replica runs its whole budget through the
+            # native loop (shared rate memo, sequential replicas).  An
+            # R = 1 ensemble replays the scalar compiled run bit for bit.
+            self.kernel.run_ensemble_compiled(ensemble,
+                                              max_events=max_events,
+                                              duration=duration)
+            return EnsembleResult(
+                durations=ensemble.times - start_times,
+                event_counts=ensemble.event_counts - start_counts,
+                electron_transfers=(ensemble.electron_transfers
+                                    - start_transfers),
+                junction_names=ensemble.junction_names,
+                final_electrons=ensemble.electrons.copy(),
+            )
         count = ensemble.replica_count
         finished = np.zeros(count, dtype=bool)
         step_ensemble = self.kernel.step_ensemble
@@ -328,8 +370,10 @@ class MonteCarloSimulator:
             Number of blocks for the single-trajectory error estimate.
         replicas:
             Optional replica count; ``None`` (default) runs the scalar
-            block-averaged estimator, values >= 2 run the ensemble
-            estimator.
+            block-averaged estimator, values >= 1 run the ensemble
+            estimator.  ``replicas=1`` yields the same mean as the scalar
+            estimator at the same seed (one trajectory, no spread — the
+            standard error is infinite).
 
         Returns
         -------
@@ -339,9 +383,9 @@ class MonteCarloSimulator:
         """
         self._check_estimator_args(junction_name, blocks)
         if replicas is not None:
-            if replicas < 2:
+            if replicas < 1:
                 raise SimulationError(
-                    "need at least 2 replicas for a spread estimate")
+                    "need at least 1 replica for an ensemble estimate")
             ensemble = self.new_ensemble(replicas)
             if warmup_events > 0:
                 self.run_ensemble(max_events=warmup_events, ensemble=ensemble)
@@ -360,11 +404,20 @@ class MonteCarloSimulator:
 
     def _estimate_current(self, state: SimulationState, junction_name: str,
                           max_events: int, blocks: int) -> CurrentEstimate:
-        """Block-averaged current estimate continuing from ``state``."""
+        """Block-averaged current estimate continuing from ``state``.
+
+        The mean is the whole-window charge over the whole-window duration
+        (mathematically the duration-weighted block mean, but computed from
+        the run's start/end counters so it is *bit-identical* to the
+        ensemble estimator's total-ratio form at equal trajectories); block
+        averaging supplies the standard error.
+        """
         per_block = max(1, max_events // blocks)
         charges: List[float] = []
         durations: List[float] = []
         total_events = 0
+        window_start_transfer = state.electron_transfers[junction_name]
+        window_start_time = state.time
         for _ in range(blocks):
             before_transfer = state.electron_transfers[junction_name]
             before_time = state.time
@@ -382,10 +435,13 @@ class MonteCarloSimulator:
         if not usable:
             return CurrentEstimate(mean=0.0, stderr=0.0, blocks=0, duration=0.0,
                                    events=total_events)
-        mean, stderr, block_count = block_average(
+        _, stderr, block_count = block_average(
             [charge for charge, _ in usable], [dt for _, dt in usable])
+        total_charge = -(state.electron_transfers[junction_name]
+                         - window_start_transfer) * E_CHARGE
+        total_elapsed = state.time - window_start_time
         return CurrentEstimate(
-            mean=mean,
+            mean=float(total_charge / total_elapsed),
             stderr=stderr,
             blocks=block_count,
             duration=float(sum(dt for _, dt in usable)),
@@ -450,8 +506,9 @@ class MonteCarloSimulator:
             their standard errors, as equal-length float arrays.
         """
         self._check_estimator_args(junction_name, blocks=10)
-        if ensemble is not None and ensemble < 2:
-            raise SimulationError("need at least 2 replicas for a spread estimate")
+        if ensemble is not None and ensemble < 1:
+            raise SimulationError(
+                "need at least 1 replica for an ensemble estimate")
         if workers > 1 and len(values) > 1:
             return self._sweep_parallel(source, values, junction_name,
                                         max_events, warmup_events, warm_start,
@@ -522,8 +579,9 @@ class MonteCarloSimulator:
         payloads = [
             (self.circuit.copy(), self.temperature,
              self.kernel.include_cotunneling, self.kernel.fast_path,
-             self.kernel.resync_interval, source, chunk, junction_name,
-             max_events, warmup_events, warm_start, seed, ensemble)
+             self.kernel.resync_interval, self.jit, source, chunk,
+             junction_name, max_events, warmup_events, warm_start, seed,
+             ensemble)
             for chunk, seed in zip(chunks, seeds)
         ]
         currents: List[float] = []
@@ -548,12 +606,12 @@ class MonteCarloSimulator:
 def _sweep_chunk(payload) -> List[Tuple[float, float]]:
     """Worker body of :meth:`MonteCarloSimulator._sweep_parallel` (picklable)."""
     (circuit, temperature, include_cotunneling, fast_path, resync_interval,
-     source, values, junction_name, max_events, warmup_events, warm_start,
-     seed, ensemble) = payload
+     jit, source, values, junction_name, max_events, warmup_events,
+     warm_start, seed, ensemble) = payload
     simulator = MonteCarloSimulator(circuit, temperature, seed=seed,
                                     include_cotunneling=include_cotunneling,
                                     validate=False, fast_path=fast_path,
-                                    resync_interval=resync_interval)
+                                    resync_interval=resync_interval, jit=jit)
     out: List[Tuple[float, float]] = []
     _, currents, errors = simulator.sweep_source(
         source, values, junction_name, max_events=max_events,

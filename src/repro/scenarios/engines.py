@@ -95,6 +95,19 @@ def _cheapest(engines):
                key=lambda engine: engine.capabilities().cost.per_point_s)
 
 
+def _selectable_engines():
+    """Registered engines whose capabilities declare them ``available``.
+
+    Engines gated on optional dependencies (e.g. the compiled-kernel
+    engines without a native backend) register unconditionally so that
+    explicit requests give a clear error, but ``auto`` selection only
+    ever considers engines that can actually deliver their declared cost
+    model.
+    """
+    return [engine for engine in list_engines()
+            if engine.capabilities().available]
+
+
 def _stochastic_engine_name(replicas: int) -> str:
     """The stochastic engine matching a replica budget, by capability.
 
@@ -102,7 +115,7 @@ def _stochastic_engine_name(replicas: int) -> str:
     (replica spread beats block averaging at equal cost); otherwise a
     plain single-trajectory one.
     """
-    stochastic = [engine for engine in list_engines()
+    stochastic = [engine for engine in _selectable_engines()
                   if engine.capabilities().stochastic]
     if not stochastic:
         raise ValidationError("no stochastic engine registered")
@@ -114,7 +127,7 @@ def _stochastic_engine_name(replicas: int) -> str:
 
 def _cheapest_approximate_name() -> Optional[str]:
     """The cheapest-per-point approximate engine, or ``None`` if none exists."""
-    approximate = [engine for engine in list_engines()
+    approximate = [engine for engine in _selectable_engines()
                    if engine.capabilities().exactness == EXACTNESS_APPROXIMATE]
     if not approximate:
         return None
@@ -123,7 +136,7 @@ def _cheapest_approximate_name() -> Optional[str]:
 
 def _exact_deterministic_name() -> str:
     """The exact deterministic engine (the heuristic's default answer)."""
-    candidates = [engine for engine in list_engines()
+    candidates = [engine for engine in _selectable_engines()
                   if not engine.capabilities().stochastic
                   and engine.capabilities().exactness != EXACTNESS_APPROXIMATE]
     if not candidates:
@@ -141,7 +154,9 @@ def select_engine(spec: ScenarioSpec) -> str:
     2. stochastic observables (``*stderr*``, ``*noise*``, ``*bits*``, ...)
        need trajectories: the ensemble-capable stochastic engine when the
        budget carries >= 2 replicas (replica spread beats block averaging
-       at equal cost), otherwise the single-trajectory one;
+       at equal cost), otherwise the single-trajectory one — always the
+       cheapest *available* candidate, so the compiled-kernel engines are
+       adopted automatically exactly when their backend loaded;
     3. very large sweeps (> 4096 points) that a scenario marked as
        approximation-tolerant (``params["fidelity"] == "fast"``) go to the
        cheapest approximate engine;
@@ -157,8 +172,9 @@ def select_engine(spec: ScenarioSpec) -> str:
     Returns
     -------
     str
-        A concrete registered engine name (with the built-in registry: one
-        of ``"montecarlo"``, ``"ensemble"``, ``"master"``, ``"analytic"``).
+        A concrete registered engine name (any entry of
+        :func:`repro.engines.registry.engine_names` whose capabilities
+        declare it available).
     """
     if spec.engine != "auto":
         return spec.engine

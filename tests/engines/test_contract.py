@@ -232,6 +232,22 @@ class TestCrossEngineAgreement:
             margin = 5.0 * observed.stderr + 0.05 * exact
             assert abs(observed.current - exact) < margin
 
+    def test_seeded_stochastic_engines_report_bit_identical_currents(
+            self, device):
+        # Same (device, seed): the scalar engine, its compiled twin, and
+        # both ensemble engines at R = 1 all consume the random stream in
+        # the same order and share the ratio-of-sums current estimator, so
+        # the reported means are bit-identical — not merely statistically
+        # close.  (max_events must divide evenly into the estimator's 10
+        # blocks so scalar block edges land on the same event boundaries.)
+        bias = BiasPoint(0.5 * device.gate_period, DRAIN_VOLTAGE)
+        currents = {}
+        for name, replicas in (("montecarlo", 0), ("montecarlo-jit", 0),
+                               ("ensemble", 1), ("ensemble-jit", 1)):
+            session = bind(name, device, max_events=400, replicas=replicas)
+            currents[name] = session.solve(bias).current
+        assert len(set(currents.values())) == 1, currents
+
 
 class TestEnsembleEquivalence:
     def test_r1_ensemble_replays_the_scalar_trajectory(self, device):

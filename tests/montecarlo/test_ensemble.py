@@ -159,11 +159,24 @@ class TestEnsembleSweeps:
         assert dict(simulator.circuit.source_voltages()) == before
 
     def test_too_few_replicas_rejected(self):
+        # R = 1 is a legal (degenerate) ensemble since the compiled-kernel
+        # work — it replays the scalar path; only R < 1 is nonsensical.
         simulator = make_simulator(seed=2)
         with pytest.raises(SimulationError):
-            simulator.sweep_source("VD", [0.05], "J_drain", ensemble=1)
+            simulator.sweep_source("VD", [0.05], "J_drain", ensemble=0)
         with pytest.raises(SimulationError):
-            simulator.stationary_current("J_drain", replicas=1)
+            simulator.stationary_current("J_drain", replicas=0)
+
+    def test_single_replica_ensemble_matches_scalar_estimate(self):
+        # An R = 1 ensemble consumes the random stream exactly like the
+        # scalar path, so the ratio-of-sums estimators agree bit for bit
+        # (stderr is infinite: one replica carries no spread information).
+        ensemble_run = make_simulator(seed=9).stationary_current(
+            "J_drain", max_events=2_000, warmup_events=200, replicas=1)
+        scalar_run = make_simulator(seed=9).stationary_current(
+            "J_drain", max_events=2_000, warmup_events=200)
+        assert ensemble_run.mean == scalar_run.mean
+        assert ensemble_run.stderr == float("inf")
 
 
 class TestEnsembleStateAndGuards:

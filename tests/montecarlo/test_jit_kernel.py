@@ -1,0 +1,253 @@
+"""Tests for the compiled Monte-Carlo advance kernel (:mod:`repro.montecarlo.jit`).
+
+The compiled loop is only trustworthy if it is *provably* the same
+simulation: a seeded compiled run must replay the numpy scalar path event
+for event (same waiting times, same executed events, same transfers), not
+merely agree statistically.  These tests pin that equivalence on the
+active backend and on the always-available interpreted fallback, plus the
+cache-epoch machinery that keeps compiled runs honest when the bias or
+offset charge changes mid-session.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.constants import E_CHARGE
+from repro.devices import SETTransistor
+from repro.devices.set_transistor import ISLAND
+from repro.errors import SimulationError
+from repro.montecarlo import MonteCarloSimulator
+from repro.montecarlo.jit import (
+    BACKEND_CC,
+    BACKEND_NUMBA,
+    BACKEND_PYTHON,
+    clear_backend_cache,
+    jit_backend,
+    jit_compiled,
+    resolve_advance,
+)
+
+TEMPERATURE = 1.0
+DRAIN_VOLTAGE = 0.05
+GATE_VOLTAGE = 0.04
+
+
+def make_simulator(seed=11, drain_voltage=DRAIN_VOLTAGE, **kwargs):
+    transistor = SETTransistor(junction_capacitance=1e-18,
+                               gate_capacitance=2e-18,
+                               junction_resistance=1e6)
+    circuit = transistor.build_circuit(drain_voltage=drain_voltage,
+                                       gate_voltage=GATE_VOLTAGE)
+    return MonteCarloSimulator(circuit, temperature=TEMPERATURE, seed=seed,
+                               **kwargs)
+
+
+def assert_identical_trajectories(compiled, scalar):
+    """Bitwise comparison of two :class:`TrajectoryResult` runs."""
+    assert compiled.event_count == scalar.event_count
+    assert compiled.duration == scalar.duration
+    assert compiled.final_electrons == scalar.final_electrons
+    assert compiled.electron_transfers == scalar.electron_transfers
+
+
+@pytest.fixture
+def python_backend(monkeypatch):
+    """Force the interpreted backend for one test, restoring afterwards."""
+    monkeypatch.setenv("REPRO_JIT_BACKEND", BACKEND_PYTHON)
+    clear_backend_cache()
+    yield
+    monkeypatch.delenv("REPRO_JIT_BACKEND", raising=False)
+    clear_backend_cache()
+
+
+class TestBackendResolution:
+    def test_a_backend_always_resolves(self):
+        name, advance = resolve_advance()
+        assert callable(advance)
+        assert name in (BACKEND_NUMBA, BACKEND_CC, BACKEND_PYTHON)
+        assert jit_backend() == name
+        assert jit_compiled() == (name != BACKEND_PYTHON)
+
+    @pytest.mark.skipif(
+        os.environ.get("REPRO_JIT_BACKEND") == BACKEND_PYTHON,
+        reason="backend pinned to the interpreted fallback via environment")
+    def test_a_native_backend_is_available_here(self):
+        # numba or a C compiler: either way the compiled engines must be
+        # able to declare themselves available in this environment.
+        assert jit_compiled()
+
+    def test_the_interpreted_fallback_always_loads(self):
+        name, advance = resolve_advance(BACKEND_PYTHON)
+        assert name == BACKEND_PYTHON
+        assert callable(advance)
+
+    def test_unknown_backend_is_rejected_with_the_known_set(self):
+        with pytest.raises(SimulationError, match="python"):
+            resolve_advance("fortran")
+
+    def test_environment_pin_wins(self, python_backend):
+        assert jit_backend() == BACKEND_PYTHON
+        assert not jit_compiled()
+
+    def test_jit_requires_the_fast_path(self):
+        with pytest.raises(SimulationError, match="fast_path"):
+            make_simulator(jit=True, fast_path=False)
+
+
+class TestEventForEventReplay:
+    def test_compiled_run_replays_the_scalar_path(self):
+        compiled = make_simulator(seed=42, jit=True).run(max_events=5_000)
+        scalar = make_simulator(seed=42).run(max_events=5_000)
+        assert_identical_trajectories(compiled, scalar)
+
+    def test_duration_budget_and_censoring_replay(self):
+        # A wall-clock budget exercises the censoring branch (waiting times
+        # beyond the remaining window advance time without an event); the
+        # compiled loop must censor at exactly the same events.
+        probe = make_simulator(seed=7).run(max_events=2_000)
+        window = 0.5 * probe.duration
+        compiled = make_simulator(seed=7, jit=True).run(duration=window)
+        scalar = make_simulator(seed=7).run(duration=window)
+        assert_identical_trajectories(compiled, scalar)
+
+    def test_interpreted_fallback_replays_too(self, python_backend):
+        compiled = make_simulator(seed=13, jit=True).run(max_events=1_500)
+        scalar = make_simulator(seed=13).run(max_events=1_500)
+        assert_identical_trajectories(compiled, scalar)
+
+    def test_stationary_current_is_bit_identical(self):
+        compiled = make_simulator(seed=3, jit=True).stationary_current(
+            "J_drain", max_events=4_000, warmup_events=400)
+        scalar = make_simulator(seed=3).stationary_current(
+            "J_drain", max_events=4_000, warmup_events=400)
+        assert compiled.mean == scalar.mean
+        assert compiled.stderr == scalar.stderr
+        assert compiled.events == scalar.events
+
+    def test_record_events_falls_back_to_the_scalar_path(self):
+        # Event recording needs per-event control flow, so the compiled
+        # route steps aside — same seed, same trajectory, records intact.
+        recorded = make_simulator(seed=5, jit=True).run(max_events=300,
+                                                        record_events=True)
+        scalar = make_simulator(seed=5).run(max_events=300,
+                                            record_events=True)
+        assert len(recorded.records) == len(scalar.records) > 0
+        assert_identical_trajectories(recorded, scalar)
+
+
+class TestEnsembleJit:
+    def test_r1_ensemble_replays_the_scalar_trajectory(self):
+        batched = make_simulator(seed=21, jit=True).run_ensemble(
+            replicas=1, max_events=2_000)
+        scalar = make_simulator(seed=21).run(max_events=2_000)
+        assert int(batched.event_counts[0]) == scalar.event_count
+        assert float(batched.durations[0]) == scalar.duration
+        for column, junction in enumerate(batched.junction_names):
+            assert batched.electron_transfers[0, column] == \
+                scalar.electron_transfers[junction]
+        assert tuple(batched.final_electrons[0]) == scalar.final_electrons
+
+    def test_many_replicas_agree_with_the_scalar_estimator(self):
+        # R > 1 consumes the random stream in a different order than the
+        # lockstep numpy ensemble, so the proof is statistical: combined
+        # 3-sigma agreement with the scalar block-averaged estimate.
+        batched = make_simulator(seed=23, jit=True).stationary_current(
+            "J_drain", max_events=4_000, warmup_events=400, replicas=8)
+        scalar = make_simulator(seed=29).stationary_current(
+            "J_drain", max_events=24_000, warmup_events=800)
+        sigma = np.hypot(batched.stderr, scalar.stderr)
+        assert abs(batched.mean - scalar.mean) <= 3.0 * sigma
+
+    def test_replica_event_budgets_are_per_replica(self):
+        result = make_simulator(seed=31, jit=True).run_ensemble(
+            replicas=4, max_events=500)
+        assert result.event_counts.shape == (4,)
+        assert np.all(result.event_counts == 500)
+
+
+class TestCacheEpochInvalidation:
+    def test_bias_change_is_picked_up_mid_session(self):
+        # Warm rate tables at one drain bias, then move the bias: the
+        # compiled path must rebuild its tables (fresh cache epoch) and
+        # agree with an independent run at the new bias.
+        simulator = make_simulator(seed=17, jit=True)
+        before = simulator.stationary_current("J_drain", max_events=4_000,
+                                              warmup_events=400)
+        simulator.circuit.set_source_voltage("VD", 0.15)
+        after = simulator.stationary_current("J_drain", max_events=8_000,
+                                             warmup_events=400)
+        reference = make_simulator(seed=19, drain_voltage=0.15).\
+            stationary_current("J_drain", max_events=24_000,
+                               warmup_events=800)
+        sigma = np.hypot(after.stderr, reference.stderr)
+        assert abs(after.mean - reference.mean) <= 3.0 * sigma
+        # ... and the new bias genuinely changed the answer, so the
+        # agreement above is not vacuous.
+        assert abs(after.mean - before.mean) > 10.0 * sigma
+
+    def test_offset_charge_change_is_picked_up_mid_session(self):
+        # Half an electron of island offset moves the conduction peak into
+        # blockade; a compiled session that kept stale tables would keep
+        # conducting at the old level.
+        simulator = make_simulator(seed=37, jit=True)
+        on_peak = simulator.stationary_current("J_drain", max_events=4_000,
+                                               warmup_events=400)
+        simulator.circuit.set_offset_charge(ISLAND, 0.5 * E_CHARGE)
+        shifted = simulator.stationary_current("J_drain", max_events=4_000,
+                                               warmup_events=400)
+        # Stale tables would leave the two estimates statistically
+        # indistinguishable; the genuine half-electron shift moves the
+        # current far outside the combined error bars.
+        sigma = np.hypot(shifted.stderr, on_peak.stderr)
+        assert abs(shifted.mean - on_peak.mean) > 5.0 * sigma
+
+    def test_stale_bias_tables_would_visibly_corrupt_the_current(self,
+                                                                 monkeypatch):
+        # Regression guard on the invalidation machinery itself: disable
+        # the bias refresh and show the compiled current stays pinned to
+        # the old operating point — a visible, physical error.  If this
+        # test ever starts failing, the epoch checks above have gone
+        # vacuous.
+        simulator = make_simulator(seed=17, jit=True)
+        stale = simulator.stationary_current("J_drain", max_events=4_000,
+                                             warmup_events=400)
+        monkeypatch.setattr(simulator.kernel, "_refresh_bias",
+                            lambda: None)
+        simulator.circuit.set_source_voltage("VD", 0.15)
+        frozen = simulator.stationary_current("J_drain", max_events=8_000,
+                                              warmup_events=400)
+        reference = make_simulator(seed=19, drain_voltage=0.15).\
+            stationary_current("J_drain", max_events=24_000,
+                               warmup_events=800)
+        # The broken session tracks the OLD bias, far from the new truth.
+        sigma = np.hypot(frozen.stderr, reference.stderr)
+        assert abs(frozen.mean - reference.mean) > 10.0 * sigma
+        assert abs(frozen.mean - stale.mean) <= \
+            10.0 * np.hypot(frozen.stderr, stale.stderr)
+
+
+class TestSimulatorRouting:
+    def test_jit_simulator_routes_runs_through_the_compiled_loop(
+            self, monkeypatch):
+        simulator = make_simulator(seed=2, jit=True)
+        calls = []
+        original = simulator.kernel.run_compiled
+        monkeypatch.setattr(
+            simulator.kernel, "run_compiled",
+            lambda *args, **kwargs: calls.append(1) or
+            original(*args, **kwargs))
+        simulator.run(max_events=200)
+        assert calls
+
+    def test_plain_simulator_never_touches_the_compiled_loop(
+            self, monkeypatch):
+        simulator = make_simulator(seed=2)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("compiled path reached without jit=True")
+
+        monkeypatch.setattr(simulator.kernel, "run_compiled", forbidden)
+        result = simulator.run(max_events=200)
+        assert result.event_count == 200

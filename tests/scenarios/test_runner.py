@@ -38,13 +38,31 @@ class TestEngineSelection:
         assert select_engine(spec) == "analytic"
 
     def test_stochastic_observables_pick_monte_carlo(self):
+        from repro.montecarlo.jit import jit_compiled
+
         spec = ScenarioSpec(name="x", observables=("current_stderr_A",))
-        assert select_engine(spec) == "montecarlo"
+        expected = "montecarlo-jit" if jit_compiled() else "montecarlo"
+        assert select_engine(spec) == expected
 
     def test_stochastic_with_replicas_picks_ensemble(self):
+        from repro.montecarlo.jit import jit_compiled
+
         spec = ScenarioSpec(name="x", observables=("shot_noise_A",),
                             budget=Budget(replicas=16))
-        assert select_engine(spec) == "ensemble"
+        expected = "ensemble-jit" if jit_compiled() else "ensemble"
+        assert select_engine(spec) == expected
+
+    def test_selection_only_considers_available_engines(self, monkeypatch):
+        # Force every JIT capability report to "unavailable" and check the
+        # selector falls back to the always-available numpy engines.
+        import repro.montecarlo.jit as jit_module
+
+        monkeypatch.setattr(jit_module, "jit_compiled", lambda: False)
+        single = ScenarioSpec(name="x", observables=("current_stderr_A",))
+        batched = ScenarioSpec(name="x", observables=("shot_noise_A",),
+                               budget=Budget(replicas=16))
+        assert select_engine(single) == "montecarlo"
+        assert select_engine(batched) == "ensemble"
 
     def test_deterministic_default_is_master(self):
         spec = ScenarioSpec(name="x", observables=("current_A",))
