@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "engines", help="list registered engines with their capabilities")
     engines_parser.add_argument("--json", action="store_true",
                                 help="machine-readable output")
+
+    faults_parser = commands.add_parser(
+        "faults", help="list the named fault-injection sites of the "
+                       "resilience layer")
+    faults_parser.add_argument("--json", action="store_true",
+                               help="machine-readable output")
     return parser
 
 
@@ -241,6 +247,24 @@ def _command_engines(arguments) -> int:
     return 0
 
 
+def _command_faults(arguments) -> int:
+    """Implement ``repro faults``."""
+    from .resilience.faults import SITES
+
+    if arguments.json:
+        print(json.dumps([{"site": site, "description": description}
+                          for site, description in sorted(SITES.items())],
+                         indent=2))
+        return 0
+    rows = [[site, description]
+            for site, description in sorted(SITES.items())]
+    print(format_table(["site", "injectable fault"], rows,
+                       title=f"{len(SITES)} named fault-injection sites"))
+    print("\narm programmatically: repro.resilience.FaultInjector(seed)"
+          ".arm(SITE, ...) as a context manager (docs/robustness.md)")
+    return 0
+
+
 def _command_compare(arguments) -> int:
     """Implement ``repro compare``."""
     engines = [engine.strip() for engine in arguments.engines.split(",")
@@ -282,7 +306,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     handlers = {"list": _command_list, "describe": _command_describe,
                 "run": _command_run, "compare": _command_compare,
-                "engines": _command_engines}
+                "engines": _command_engines, "faults": _command_faults}
     try:
         return handlers[arguments.command](arguments)
     except ReproError as error:

@@ -38,6 +38,8 @@ from ..devices.set_transistor import (
     SETTransistor,
 )
 from ..errors import ValidationError
+from ..resilience.faults import inject_value
+from ..resilience.policy import FailurePolicy
 from .base import (
     EXACTNESS_APPROXIMATE,
     EXACTNESS_EXACT_SEQUENTIAL,
@@ -143,7 +145,8 @@ class AnalyticSession(Session):
                                             bias.gate_voltage))
         return Observables(current=current, engine=self.engine_name)
 
-    def sweep(self, axes: SweepAxes, *, workers: int = 1) -> SweepResult:
+    def sweep(self, axes: SweepAxes, *, workers: int = 1,
+              policy: Optional[FailurePolicy] = None) -> SweepResult:
         """The whole gate sweep in one broadcast ``drain_current_map`` call.
 
         Parameters
@@ -153,12 +156,17 @@ class AnalyticSession(Session):
         workers:
             Accepted for signature uniformity; the broadcast evaluation is
             already a single vectorized call, so it is ignored.
+        policy:
+            Optional failure policy; routes through the fault-tolerant
+            executor (see :meth:`Session.sweep`).
 
         Returns
         -------
         SweepResult
             Deterministic currents (``stderrs`` is ``None``).
         """
+        if policy is not None:
+            return self._sweep_with_policy(axes, policy, workers=workers)
         currents = np.asarray(
             self.model.drain_current_map([axes.drain_voltage], axes.gates),
             dtype=float)[0]
@@ -189,17 +197,23 @@ class AnalyticSession(Session):
         import dataclasses
 
         base_model = self._model_at(bias)
+        # Contract: rebinding the temperature uses dataclasses.replace, so
+        # the model must be a dataclass with a 'temperature' field (every
+        # repro.compact SET model is).  Checking that up front — instead of
+        # the former bare `except TypeError` around replace() — means a
+        # TypeError raised *inside* a model's own __post_init__ validation
+        # propagates as the model bug it is rather than being rewritten
+        # into this ValidationError.
+        fields = getattr(type(base_model), "__dataclass_fields__", None)
+        if fields is None or "temperature" not in fields:
+            raise ValidationError(
+                f"{type(base_model).__name__} cannot be re-evaluated at "
+                "a new temperature (not a dataclass with a "
+                "'temperature' field); bind from a device instead")
         currents = []
         for temperature in np.asarray(temperatures, dtype=float).ravel():
-            try:
-                model = dataclasses.replace(base_model,
-                                            temperature=float(temperature))
-            except TypeError:
-                raise ValidationError(
-                    f"{type(base_model).__name__} cannot be re-evaluated at "
-                    "a new temperature (not a dataclass with a "
-                    "'temperature' field); bind from a device instead"
-                ) from None
+            model = dataclasses.replace(base_model,
+                                        temperature=float(temperature))
             currents.append(float(model.drain_current(bias.drain_voltage,
                                                       bias.gate_voltage)))
         return np.asarray(currents, dtype=float)
@@ -313,10 +327,12 @@ class MasterSession(_CircuitSession):
     def solve(self, bias: BiasPoint) -> Observables:
         """Stationary drain current at one bias point (structure-reusing)."""
         self._apply_bias(bias)
-        current = self._solver.current(DRAIN_JUNCTION)
+        current = inject_value("master.current",
+                               float(self._solver.current(DRAIN_JUNCTION)))
         return Observables(current=float(current), engine=self.engine_name)
 
-    def sweep(self, axes: SweepAxes, *, workers: int = 1) -> SweepResult:
+    def sweep(self, axes: SweepAxes, *, workers: int = 1,
+              policy: Optional[FailurePolicy] = None) -> SweepResult:
         """Gate sweep on the solver's structure-reusing ``sweep_source`` path.
 
         Parameters
@@ -325,12 +341,17 @@ class MasterSession(_CircuitSession):
             Gate axis plus fixed drain bias.
         workers:
             Worker processes partitioning the sweep points.
+        policy:
+            Optional failure policy; routes through the fault-tolerant
+            executor (see :meth:`Session.sweep`).
 
         Returns
         -------
         SweepResult
             Deterministic currents (``stderrs`` is ``None``).
         """
+        if policy is not None:
+            return self._sweep_with_policy(axes, policy, workers=workers)
         self._begin_sweep(axes)
         _, currents = self._solver.sweep_source(GATE_SOURCE, axes.gates,
                                                 DRAIN_JUNCTION,
@@ -409,13 +430,15 @@ class MonteCarloSession(_CircuitSession):
             DRAIN_JUNCTION, max_events=self.max_events,
             warmup_events=self.warmup_events,
             replicas=self.replicas if self.replicas >= 1 else None)
-        return Observables(current=float(estimate.mean),
+        current = inject_value("montecarlo.current", float(estimate.mean))
+        return Observables(current=float(current),
                            stderr=float(estimate.stderr),
                            engine=self.engine_name,
                            extras={"events": float(estimate.events),
                                    "duration_s": float(estimate.duration)})
 
-    def sweep(self, axes: SweepAxes, *, workers: int = 1) -> SweepResult:
+    def sweep(self, axes: SweepAxes, *, workers: int = 1,
+              policy: Optional[FailurePolicy] = None) -> SweepResult:
         """Warm-started gate sweep (replica-batched on the ensemble engine).
 
         Parameters
@@ -424,12 +447,17 @@ class MonteCarloSession(_CircuitSession):
             Gate axis plus fixed drain bias.
         workers:
             Worker processes partitioning the bias points.
+        policy:
+            Optional failure policy; routes through the fault-tolerant
+            executor (see :meth:`Session.sweep`).
 
         Returns
         -------
         SweepResult
             Current estimates with per-point standard errors.
         """
+        if policy is not None:
+            return self._sweep_with_policy(axes, policy, workers=workers)
         self._begin_sweep(axes)
         _, currents, stderrs = self.simulator.sweep_source(
             GATE_SOURCE, axes.gates, DRAIN_JUNCTION,

@@ -29,13 +29,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..devices.set_transistor import SETTransistor
 from ..errors import ValidationError
 from ..io.results import SweepRecord
+from ..resilience.policy import FailurePolicy, PointRecord
 
 #: Exactness classes an engine may declare (coarsest physics first).
 EXACTNESS_APPROXIMATE = "approximate-sequential"
@@ -222,17 +223,25 @@ class SweepResult:
     axes:
         The swept axes.
     currents:
-        Drain currents in ampere, one per gate point.
+        Drain currents in ampere, one per gate point (NaN at points a
+        failure policy abandoned).
     stderrs:
         Per-point standard errors for stochastic engines, else ``None``.
     engine:
         Name of the engine that ran the sweep.
+    statuses:
+        Typed per-point :class:`~repro.resilience.policy.PointRecord`
+        entries when the sweep ran under a
+        :class:`~repro.resilience.policy.FailurePolicy`; ``None`` on plain
+        sweeps (every point then succeeded — a plain sweep raises
+        otherwise).
     """
 
     axes: SweepAxes
     currents: np.ndarray
     stderrs: Optional[np.ndarray]
     engine: str
+    statuses: Optional[Tuple[PointRecord, ...]] = None
 
     def __post_init__(self) -> None:
         currents = np.asarray(self.currents, dtype=float)
@@ -248,6 +257,31 @@ class SweepResult:
             raise ValidationError(
                 f"currents shape {currents.shape} does not match the "
                 f"{len(self.axes)}-point sweep axes")
+        if self.statuses is not None:
+            statuses = tuple(self.statuses)
+            object.__setattr__(self, "statuses", statuses)
+            if len(statuses) != len(self.axes):
+                raise ValidationError(
+                    f"{len(statuses)} status records do not match the "
+                    f"{len(self.axes)}-point sweep axes")
+
+    def status_counts(self) -> Dict[str, int]:
+        """Histogram of per-point statuses (empty when ``statuses`` is None)."""
+        counts: Dict[str, int] = {}
+        for record in self.statuses or ():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def solved_mask(self) -> np.ndarray:
+        """Boolean mask of points carrying a usable current sample.
+
+        Without status records every point of a successful sweep is solved;
+        with them, the mask reflects each record's ``solved`` property.
+        """
+        if self.statuses is None:
+            return np.ones(len(self.axes), dtype=bool)
+        return np.asarray([record.solved for record in self.statuses],
+                          dtype=bool)
 
     @property
     def gates(self) -> np.ndarray:
@@ -348,6 +382,13 @@ class Session(abc.ABC):
         warm-started (optionally replica-batched) sweeps for the
         Monte-Carlo family.
 
+        Every built-in adapter additionally accepts a keyword-only
+        ``policy`` (a :class:`~repro.resilience.policy.FailurePolicy`):
+        the sweep then runs through the fault-tolerant executor — the fast
+        path is still tried first, but per-point failures are retried,
+        time-boxed, and recorded as typed statuses on the result instead
+        of aborting the sweep (see :mod:`repro.resilience`).
+
         Parameters
         ----------
         axes:
@@ -361,6 +402,33 @@ class Session(abc.ABC):
             Currents (and, for stochastic engines, standard errors) over
             the gate axis.
         """
+
+    def _sweep_with_policy(self, axes: SweepAxes, policy: FailurePolicy, *,
+                           workers: int = 1) -> SweepResult:
+        """Adapter hook: run ``axes`` through the fault-tolerant executor.
+
+        Concrete ``sweep`` implementations delegate here when called with a
+        ``policy``; the executor re-enters ``sweep`` *without* a policy for
+        its optimistic fast path, so the engine's structure-reusing
+        machinery still does the clean-run work.
+
+        Parameters
+        ----------
+        axes:
+            Gate axis plus fixed drain bias.
+        policy:
+            The per-point failure policy.
+        workers:
+            Worker processes for the fast-path fan-out.
+
+        Returns
+        -------
+        SweepResult
+            With per-point ``statuses`` populated.
+        """
+        from ..resilience.execution import run_policy_sweep
+
+        return run_policy_sweep(self, axes, policy, workers=workers)
 
     def temperature_sweep(self, bias: BiasPoint,
                           temperatures: Sequence[float]) -> np.ndarray:
@@ -387,7 +455,10 @@ class Session(abc.ABC):
             "arrays (capabilities().supports_temperature_array is False); "
             "bind one session per temperature instead")
 
-    def stream(self, axes: SweepAxes) -> Iterator[Tuple[float, Observables]]:
+    def stream(self, axes: SweepAxes, *,
+               policy: Optional[FailurePolicy] = None,
+               on_status: Optional[Callable[[PointRecord], None]] = None,
+               ) -> Iterator[Tuple[float, Observables]]:
         """Iterate the sweep incrementally, yielding each point as computed.
 
         The default implementation solves point by point through
@@ -399,12 +470,30 @@ class Session(abc.ABC):
         ----------
         axes:
             Gate axis plus fixed drain bias.
+        policy:
+            Optional :class:`~repro.resilience.policy.FailurePolicy`; the
+            stream then retries/time-boxes each point and yields abandoned
+            points with NaN current instead of raising.
+        on_status:
+            Callback receiving each point's typed
+            :class:`~repro.resilience.policy.PointRecord` (requires
+            ``policy``).
 
         Yields
         ------
         (gate_voltage, Observables)
             One pair per sweep point, in axis order.
         """
+        if policy is not None:
+            from ..resilience.execution import stream_with_policy
+
+            yield from stream_with_policy(self, axes, policy,
+                                          on_status=on_status)
+            return
+        if on_status is not None:
+            raise ValidationError(
+                "stream(on_status=...) requires a FailurePolicy: status "
+                "records only exist under policy execution")
         for bias in axes.bias_points():
             yield bias.gate_voltage, self.solve(bias)
 

@@ -69,3 +69,27 @@ class AnalysisError(ReproError):
 
 class EncodingError(ReproError):
     """A logic-encoding operation failed (undecodable symbol, bad alphabet)."""
+
+
+class ResilienceError(ReproError):
+    """The fault-tolerant execution layer itself failed (bad policy, bad site)."""
+
+
+class FaultInjected(ResilienceError):
+    """The deterministic fault-injection harness fired at an armed site.
+
+    This is the *default* exception injected by
+    :class:`repro.resilience.faults.FaultInjector` when a site is armed
+    without an explicit ``error``; chaos tests arm concrete solver/IO
+    exception types when they want to exercise a specific ``except`` clause,
+    and use this type when the injected fault is supposed to propagate (a
+    simulated crash).
+    """
+
+
+class CheckpointError(ResilienceError):
+    """A checkpointed sweep could not be sharded, persisted, or merged."""
+
+
+class PointTimeout(ResilienceError):
+    """A per-point solve exceeded the failure policy's ``point_timeout_s``."""

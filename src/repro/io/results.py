@@ -19,6 +19,7 @@ import csv
 import hashlib
 import io
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass, field
@@ -28,6 +29,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..errors import AnalysisError
+
+_LOG = logging.getLogger("repro.io.cache")
 
 
 @dataclass
@@ -181,7 +184,13 @@ class ExperimentRecord:
 
 #: Bump when the on-disk artifact layout changes; folded into every cache key
 #: so stale-format artifacts read as misses instead of parse errors.
-CACHE_FORMAT_VERSION = 1
+#: Version 2 embeds the artifact's own cache key (:data:`CACHE_KEY_FIELD`)
+#: so a renamed/copied artifact is detected as corruption instead of served.
+CACHE_FORMAT_VERSION = 2
+
+#: Reserved payload field carrying the artifact's own cache key (integrity
+#: check against renamed or copied artifacts); stripped on load.
+CACHE_KEY_FIELD = "__cache_key__"
 
 
 def content_hash(payload: Union[str, bytes, Mapping]) -> str:
@@ -211,6 +220,14 @@ def content_hash(payload: Union[str, bytes, Mapping]) -> str:
 class ResultCache:
     """Content-addressed JSON artifact store (spec hash -> result payload).
 
+    Failure semantics: the cache *degrades, it never crashes a run*.  A
+    corrupted/truncated/mis-keyed artifact is evicted and served as a miss;
+    an unwritable cache directory turns :meth:`store` into a logged no-op.
+    Every such decision is logged on the ``repro.io.cache`` logger and
+    counted on the instance (``hits``/``misses``/``evictions``/
+    ``store_failures``, see :meth:`stats`), so silent corruption cannot hide
+    behind a healthy-looking run.
+
     Parameters
     ----------
     root:
@@ -229,6 +246,20 @@ class ResultCache:
         self.root = Path(root)
         self.code_version = code_version if code_version is not None \
             else f"{__version__}+fmt{CACHE_FORMAT_VERSION}"
+        #: Loads served from a valid artifact.
+        self.hits = 0
+        #: Loads that found no (usable) artifact.
+        self.misses = 0
+        #: Corrupted artifacts removed (or scheduled for removal) on load.
+        self.evictions = 0
+        #: Stores that degraded to a no-op on an I/O failure.
+        self.store_failures = 0
+
+    def stats(self) -> Dict[str, int]:
+        """The hit/miss/eviction/store-failure counters as a plain dict."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "store_failures": self.store_failures}
 
     def key_for(self, spec_hash: str) -> str:
         """Cache key for a spec content hash under the current code version."""
@@ -255,64 +286,106 @@ class ResultCache:
         dict or None
             The stored payload, or ``None`` when absent or unreadable.
         """
+        from ..resilience.faults import inject_value
+
         path = self.path_for(key)
         try:
             text = path.read_text()
-        except OSError:
+        except FileNotFoundError:
+            self.misses += 1
             return None
-        except UnicodeDecodeError:
-            # Binary corruption (disk fault, partial write): evict + miss.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except OSError as error:
+            # Readable-in-principle artifact we could not read (permissions,
+            # I/O error): a miss, but one worth telling the operator about.
+            self.misses += 1
+            _LOG.warning("cache read failed for %s (treated as miss): %r",
+                         path, error)
             return None
+        except UnicodeDecodeError as error:
+            return self._evict(path, f"binary corruption: {error!r}")
+        text = inject_value("cache.load", text)
         try:
             payload = json.loads(text)
-        except (json.JSONDecodeError, ValueError):
-            # Corrupted artifact: evict (best effort) and treat as a miss.
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+        except (json.JSONDecodeError, ValueError) as error:
+            return self._evict(path, f"unparseable JSON: {error!r}")
         if not isinstance(payload, dict):
-            return None
+            return self._evict(
+                path, f"top-level {type(payload).__name__}, expected object")
+        embedded = payload.pop(CACHE_KEY_FIELD, key)
+        if embedded != key:
+            return self._evict(
+                path, f"key mismatch: artifact claims {str(embedded)[:16]}…, "
+                      f"filed under {key[:16]}…")
+        self.hits += 1
         return payload
 
-    def store(self, key: str, payload: Mapping) -> Path:
-        """Persist ``payload`` under ``key`` atomically.
+    def _evict(self, path: Path, reason: str) -> Optional[Dict]:
+        """Remove a corrupted artifact (best effort), log it, count a miss."""
+        self.evictions += 1
+        self.misses += 1
+        _LOG.warning("cache evicted corrupted artifact %s: %s", path, reason)
+        try:
+            path.unlink()
+        except OSError as error:
+            _LOG.warning("cache could not remove %s: %r", path, error)
+        return None
 
-        The payload is written to a temporary file in the cache directory
-        and moved into place with ``os.replace``, so readers never observe
-        a half-written artifact and the last concurrent writer wins cleanly.
+    def store(self, key: str, payload: Mapping) -> Optional[Path]:
+        """Persist ``payload`` under ``key`` atomically; ``None`` on failure.
+
+        The payload (plus its own key under :data:`CACHE_KEY_FIELD`, the
+        integrity check :meth:`load` verifies) is written to a temporary
+        file in the cache directory and moved into place with
+        ``os.replace``, so readers never observe a half-written artifact
+        and the last concurrent writer wins cleanly.  An I/O failure
+        (unwritable directory, full disk) degrades to a logged no-op — a
+        result that cannot be cached is still a result.
 
         Parameters
         ----------
         key:
             Cache key from :meth:`key_for`.
         payload:
-            JSON-serialisable mapping to store.
+            JSON-serialisable mapping to store (must not already contain
+            :data:`CACHE_KEY_FIELD`).
 
         Returns
         -------
-        pathlib.Path
-            The artifact path.
+        pathlib.Path or None
+            The artifact path, or ``None`` when the store degraded.
         """
+        from ..resilience.events import emit_degradation
+        from ..resilience.faults import inject
+
         path = self.path_for(key)
-        self.root.mkdir(parents=True, exist_ok=True)
-        text = json.dumps(payload, sort_keys=True, indent=1)
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=str(self.root), prefix=f".{key[:16]}-", suffix=".tmp")
+        stamped = dict(payload)
+        stamped[CACHE_KEY_FIELD] = key
+        text = json.dumps(stamped, sort_keys=True, indent=1)
+        temp_name: Optional[str] = None
         try:
+            inject("cache.store")
+            self.root.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=str(self.root), prefix=f".{key[:16]}-", suffix=".tmp")
             with os.fdopen(descriptor, "w") as handle:
                 handle.write(text)
             os.replace(temp_name, path)
+        except OSError as error:
+            self.store_failures += 1
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+            emit_degradation("cache.store", "degrade:uncached",
+                             f"{path}: {error!r}")
+            return None
         except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
             raise
         return path
 
@@ -330,5 +403,5 @@ class ResultCache:
         return removed
 
 
-__all__ = ["CACHE_FORMAT_VERSION", "ExperimentRecord", "ResultCache",
-           "SweepRecord", "content_hash"]
+__all__ = ["CACHE_FORMAT_VERSION", "CACHE_KEY_FIELD", "ExperimentRecord",
+           "ResultCache", "SweepRecord", "content_hash"]

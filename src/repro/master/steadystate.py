@@ -42,7 +42,9 @@ from scipy.sparse.linalg import LinearOperator, gmres, splu
 
 from ..circuit.netlist import Circuit
 from ..constants import E_CHARGE
-from ..errors import SolverError
+from ..errors import ConvergenceError, SolverError
+from ..resilience.events import emit_degradation
+from ..resilience.faults import inject
 from .builder import RateMatrixBuilder, Transition
 from .statespace import StateSpace, auto_window_bounds, build_state_space
 from .transitions import TransitionTable
@@ -705,9 +707,17 @@ def _absorption_weights_sparse(matrix: sparse.csr_matrix,
 def _irreducible_stationary_sparse(block: sparse.spmatrix) -> np.ndarray:
     """Stationary vector of an irreducible sparse generator block.
 
-    Direct sparse LU first; on factorisation failure GMRES with a diagonal
-    preconditioner; as a last resort power iteration on the uniformised
-    chain (which cannot fail on a proper generator, only converge slowly).
+    The fallback ladder, each rung emitting a structured degradation event
+    when it gives way to the next:
+
+    1. direct sparse LU (``splu``) — the fast path;
+    2. GMRES with a diagonal preconditioner (:func:`_gmres_stationary`,
+       which raises :class:`~repro.errors.ConvergenceError` instead of
+       passing an unconverged vector downstream);
+    3. a dense direct solve, for blocks up to :data:`_DENSE_FALLBACK_LIMIT`
+       states (densifying larger blocks would defeat the sparse path);
+    4. power iteration on the uniformised chain, which cannot fail on a
+       proper generator, only converge slowly.
     """
     size = block.shape[0]
     if size == 1:
@@ -724,14 +734,37 @@ def _irreducible_stationary_sparse(block: sparse.spmatrix) -> np.ndarray:
 
     probabilities: Optional[np.ndarray] = None
     try:
+        inject("steadystate.splu")
         factor = splu(augmented)
         candidate = factor.solve(rhs)
-        if np.all(np.isfinite(candidate)):
-            probabilities = candidate
-    except (RuntimeError, ValueError):
-        probabilities = None
+        if not np.all(np.isfinite(candidate)):
+            raise SolverError("sparse LU produced non-finite probabilities")
+        probabilities = candidate
+    except (RuntimeError, ValueError, SolverError) as error:
+        emit_degradation("steadystate.splu", "fallback:gmres", repr(error))
     if probabilities is None:
-        probabilities = _iterative_stationary(block, augmented, rhs)
+        try:
+            inject("steadystate.gmres")
+            probabilities = _gmres_stationary(augmented, rhs)
+        except (RuntimeError, ValueError, SolverError) as error:
+            action = "fallback:dense" if size <= _DENSE_FALLBACK_LIMIT \
+                else "fallback:power-iteration"
+            emit_degradation("steadystate.gmres", action, repr(error))
+    if probabilities is None and size <= _DENSE_FALLBACK_LIMIT:
+        try:
+            inject("steadystate.dense")
+            candidate = np.linalg.solve(augmented.toarray(), rhs)
+            if not np.all(np.isfinite(candidate)):
+                raise SolverError(
+                    "dense stationary solve produced non-finite "
+                    "probabilities")
+            probabilities = candidate
+        except (np.linalg.LinAlgError, RuntimeError, ValueError,
+                SolverError) as error:
+            emit_degradation("steadystate.dense", "fallback:power-iteration",
+                             repr(error))
+    if probabilities is None:
+        probabilities = _power_iteration_stationary(block)
     if np.any(~np.isfinite(probabilities)):
         raise SolverError("stationary solve produced non-finite probabilities")
     probabilities = np.clip(probabilities, 0.0, None)
@@ -741,10 +774,14 @@ def _irreducible_stationary_sparse(block: sparse.spmatrix) -> np.ndarray:
     return probabilities / total
 
 
-def _iterative_stationary(block: sparse.spmatrix,
-                          augmented: sparse.csc_matrix,
-                          rhs: np.ndarray) -> np.ndarray:
-    """GMRES (diagonal preconditioner) with a power-iteration fallback."""
+def _gmres_stationary(augmented: sparse.csc_matrix,
+                      rhs: np.ndarray) -> np.ndarray:
+    """GMRES rung of the stationary ladder (diagonal preconditioner).
+
+    Raises :class:`~repro.errors.ConvergenceError` carrying the iteration
+    count when GMRES reports a nonzero ``info`` — an unconverged vector must
+    trigger the next rung, never flow downstream as if it were a solution.
+    """
     diagonal = augmented.diagonal()
     safe = np.where(diagonal != 0.0, diagonal, 1.0)
     preconditioner = LinearOperator(augmented.shape,
@@ -757,9 +794,13 @@ def _iterative_stationary(block: sparse.spmatrix,
         solution, info = gmres(augmented, rhs, M=preconditioner,
                                tol=1e-12, atol=0.0, maxiter=1000,
                                restart=min(augmented.shape[0], 200))
-    if info == 0 and np.all(np.isfinite(solution)):
-        return solution
-    return _power_iteration_stationary(block)
+    if info != 0:
+        raise ConvergenceError(
+            f"GMRES stationary solve did not converge (info={int(info)})",
+            iterations=int(info) if info > 0 else None)
+    if not np.all(np.isfinite(solution)):
+        raise SolverError("GMRES produced non-finite probabilities")
+    return solution
 
 
 def _power_iteration_stationary(block: sparse.spmatrix,
@@ -788,9 +829,9 @@ def _power_iteration_stationary(block: sparse.spmatrix,
             return updated
         probabilities = updated
     raise SolverError(
-        f"stationary solve did not converge: sparse LU and GMRES failed and "
-        f"power iteration did not reach tolerance {tolerance:g} within "
-        f"{max_iterations} iterations")
+        f"stationary solve did not converge: every direct/iterative ladder "
+        f"rung failed and power iteration did not reach tolerance "
+        f"{tolerance:g} within {max_iterations} iterations")
 
 
 __all__ = ["MasterEquationSolver", "SteadyStateSolution", "DENSE_STATE_CUTOFF"]

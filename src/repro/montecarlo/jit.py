@@ -481,6 +481,14 @@ def resolve_advance(backend: Optional[str] = None) -> Tuple[str, Callable]:
     for name in candidates:
         advance = _LOADERS[name]()
         if advance is not None:
+            if request is None and name == BACKEND_PYTHON:
+                # Auto-resolution exhausted every native backend: record the
+                # degradation so operators see why the JIT engines are slow.
+                from ..resilience.events import emit_degradation
+
+                emit_degradation("jit.run_compiled", "fallback:python",
+                                 "no native advance backend (numba/cc) "
+                                 "could be loaded")
             _resolved[backend] = (name, advance)
             return name, advance
     raise SimulationError(

@@ -975,8 +975,21 @@ class MonteCarloKernel:
 
     # ------------------------------------------------------- compiled runs
 
+    def disable_jit(self) -> None:
+        """Drop this kernel to the interpreted step path permanently.
+
+        Called by the simulator's fault recovery when a compiled run raises:
+        the kernel state is untouched by a failed compiled call, so the
+        interpreted path continues the same trajectory, and disabling the
+        advance loop keeps one bad kernel from failing on every later call.
+        """
+        self._jit_advance = None
+
     def _require_compiled(self) -> None:
         """Common guards of the compiled entry points."""
+        from ..resilience.faults import inject
+
+        inject("jit.run_compiled")
         if self._jit_advance is None:
             raise SimulationError(
                 "compiled stepping is disabled; construct the kernel with "

@@ -152,19 +152,30 @@ class MonteCarloSimulator:
                 and occupation is None and not self.kernel.traps):
             # Compiled fast path: same trajectory, same random stream, no
             # per-event Python.  Falls back to the loop below whenever a
-            # consumer needs per-event hooks.
+            # consumer needs per-event hooks — or, below, when the compiled
+            # kernel itself faults (the state is only committed at the end
+            # of a compiled run, so the interpreted loop continues the same
+            # trajectory from the untouched state).
             start_time = state.time
             start_events = state.event_count
-            self.kernel.run_compiled(state, max_events=max_events,
-                                     duration=duration)
-            return TrajectoryResult(
-                duration=state.time - start_time,
-                event_count=state.event_count - start_events,
-                electron_transfers=dict(state.electron_transfers),
-                final_electrons=state.electron_tuple(),
-                records=[],
-                trap_flips=0,
-            )
+            try:
+                self.kernel.run_compiled(state, max_events=max_events,
+                                         duration=duration)
+            except Exception as error:
+                from ..resilience.events import emit_degradation
+
+                self.kernel.disable_jit()
+                emit_degradation("jit.run_compiled", "fallback:numpy",
+                                 repr(error))
+            else:
+                return TrajectoryResult(
+                    duration=state.time - start_time,
+                    event_count=state.event_count - start_events,
+                    electron_transfers=dict(state.electron_transfers),
+                    final_electrons=state.electron_tuple(),
+                    records=[],
+                    trap_flips=0,
+                )
 
         start_time = state.time
         start_events = state.event_count
@@ -276,28 +287,43 @@ class MonteCarloSimulator:
             # Compiled path: each replica runs its whole budget through the
             # native loop (shared rate memo, sequential replicas).  An
             # R = 1 ensemble replays the scalar compiled run bit for bit.
-            self.kernel.run_ensemble_compiled(ensemble,
-                                              max_events=max_events,
-                                              duration=duration)
-            return EnsembleResult(
-                durations=ensemble.times - start_times,
-                event_counts=ensemble.event_counts - start_counts,
-                electron_transfers=(ensemble.electron_transfers
-                                    - start_transfers),
-                junction_names=ensemble.junction_names,
-                final_electrons=ensemble.electrons.copy(),
-            )
+            # On a compiled-kernel fault the interpreted loop below picks up
+            # where the native one stopped: budgets are measured against the
+            # start_* snapshots, so partially advanced replicas finish their
+            # remaining budget instead of re-running it.
+            try:
+                self.kernel.run_ensemble_compiled(ensemble,
+                                                  max_events=max_events,
+                                                  duration=duration)
+            except Exception as error:
+                from ..resilience.events import emit_degradation
+
+                self.kernel.disable_jit()
+                emit_degradation("jit.run_compiled", "fallback:numpy",
+                                 repr(error))
+            else:
+                return EnsembleResult(
+                    durations=ensemble.times - start_times,
+                    event_counts=ensemble.event_counts - start_counts,
+                    electron_transfers=(ensemble.electron_transfers
+                                        - start_transfers),
+                    junction_names=ensemble.junction_names,
+                    final_electrons=ensemble.electrons.copy(),
+                )
         count = ensemble.replica_count
         finished = np.zeros(count, dtype=bool)
         step_ensemble = self.kernel.step_ensemble
         stall_strikes = 0
 
-        if duration is None:
+        if duration is None \
+                and bool((ensemble.event_counts == start_counts).all()):
             # Lockstep fast path: with an event-only budget every unblocked
             # replica executes exactly one event per macro-step, so no
             # per-step budget bookkeeping (and no active mask) is needed
             # until a replica blockades — then fall through to the general
-            # loop for the stragglers.
+            # loop for the stragglers.  Skipped when a faulted compiled run
+            # already advanced some replicas: the general loop below meters
+            # the remaining per-replica budgets correctly.
             executed = 0
             while executed < max_events:
                 step = step_ensemble(ensemble)

@@ -1,0 +1,339 @@
+"""The failure-policy executor behind policy-carrying sweeps and streams.
+
+Clean runs must stay on the engines' structure-reusing fast paths (one
+broadcast call for the analytic model, warm-started sweeps for the others),
+so the executor is *optimistic*: :func:`run_policy_sweep` first attempts the
+whole sweep through ``Session.sweep`` while recording degradation events,
+and only drops to per-point execution to *salvage* — when the fast path
+raises, or when the health guard finds non-finite currents in an otherwise
+successful sweep.  On a healthy sweep the policy costs one try/except, one
+subscriber registration, and one ``isfinite`` scan (<1% of any real sweep).
+
+Per-point execution applies the :class:`~repro.resilience.policy.FailurePolicy`
+in full: retries with exponential backoff, per-attempt wall-clock timeouts,
+the non-finite health guard, and the ``max_failures`` sweep budget.  Every
+point produces a typed :class:`~repro.resilience.policy.PointRecord`; the
+partial :class:`~repro.engines.base.SweepResult` carries them in its
+``statuses`` field with NaN currents at abandoned points — a failed point
+degrades the result instead of aborting the sweep.
+
+Worker-crash recovery: a ``workers > 1`` fan-out that raises is retried
+serially (one ``executor.pool`` degradation event) before per-point salvage
+is considered.
+
+Timeout caveat: per-attempt timeouts run the solve on a watchdog thread and
+abandon it on expiry — the stuck thread is left to finish in the background.
+This bounds *the sweep's* latency, not the process's thread count; use
+timeouts for genuinely hung solvers, not as a routine budget.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..engines.base import BiasPoint, Observables, Session, SweepAxes, \
+    SweepResult
+from ..errors import PointTimeout, SolverError
+from .events import DegradationEvent, capture_degradations, emit_degradation
+from .faults import inject
+from .policy import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RETRIED,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    FailurePolicy,
+    PointRecord,
+    _shared_records,
+)
+
+
+def _event_detail(events: List[DegradationEvent]) -> str:
+    """Compact ``site->action`` summary of captured degradation events."""
+    return "; ".join(f"{e.site}->{e.action}" for e in events)
+
+
+def _call_with_timeout(solve: Callable[[BiasPoint], Observables],
+                       bias: BiasPoint,
+                       timeout_s: Optional[float]) -> Observables:
+    """Run one solve, optionally under a wall-clock watchdog.
+
+    Parameters
+    ----------
+    solve:
+        The session's bound ``solve`` method.
+    bias:
+        The bias point to solve.
+    timeout_s:
+        Budget in seconds; ``None`` calls straight through (no thread).
+
+    Returns
+    -------
+    Observables
+        The solved point.
+    """
+    if timeout_s is None:
+        return solve(bias)
+    executor = ThreadPoolExecutor(max_workers=1)
+    future = executor.submit(solve, bias)
+    try:
+        return future.result(timeout=timeout_s)
+    except _FuturesTimeout:
+        raise PointTimeout(
+            f"point solve exceeded point_timeout_s={timeout_s}") from None
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def solve_point_with_policy(session: Session, bias: BiasPoint, index: int,
+                            policy: FailurePolicy,
+                            ) -> Tuple[Optional[Observables], PointRecord]:
+    """Solve one bias point under a failure policy.
+
+    Retries (with exponential backoff) on exceptions and — when the health
+    guard is on — on non-finite currents; abandons immediately on a
+    per-attempt timeout (a hung solver will hang again).
+
+    Parameters
+    ----------
+    session:
+        The bound session whose ``solve`` to use.
+    bias:
+        The bias point.
+    index:
+        Flat sweep index recorded on the :class:`PointRecord`.
+    policy:
+        The failure policy to apply.
+
+    Returns
+    -------
+    (Observables or None, PointRecord)
+        The solved observables (``None`` when abandoned) and the typed
+        status record.
+    """
+    attempts = 0
+    budget = 1 + policy.max_retries
+    last_error: Optional[BaseException] = None
+    while attempts < budget:
+        attempts += 1
+        try:
+            with capture_degradations() as events:
+                inject("session.solve")
+                observed = _call_with_timeout(session.solve, bias,
+                                              policy.point_timeout_s)
+            if policy.health_guard and not math.isfinite(observed.current):
+                raise SolverError(
+                    f"non-finite current {observed.current!r} at sweep "
+                    f"point {index} (health guard)")
+            if attempts > 1:
+                status = STATUS_RETRIED
+            elif events:
+                status = STATUS_DEGRADED
+            else:
+                status = STATUS_OK
+            return observed, PointRecord(index=index, status=status,
+                                         attempts=attempts,
+                                         detail=_event_detail(events))
+        except PointTimeout as error:
+            return None, PointRecord(index=index, status=STATUS_TIMEOUT,
+                                     attempts=attempts, error=repr(error))
+        except Exception as error:
+            last_error = error
+            if attempts < budget:
+                backoff = policy.backoff_for(attempts)
+                if backoff > 0.0:
+                    time.sleep(backoff)
+    return None, PointRecord(index=index, status=STATUS_FAILED,
+                             attempts=attempts, error=repr(last_error))
+
+
+def _fast_sweep(session: Session, axes: SweepAxes,
+                workers: int) -> SweepResult:
+    """The optimistic whole-sweep path, with serial worker-crash recovery."""
+    if workers > 1:
+        try:
+            inject("executor.pool")
+            return session.sweep(axes, workers=workers)
+        except Exception as error:
+            emit_degradation("executor.pool", "recover:serial", repr(error))
+    return session.sweep(axes, workers=1)
+
+
+def _merge_stderr(stderrs: Optional[np.ndarray], index: int,
+                  value: Optional[float]) -> Optional[np.ndarray]:
+    """Write one salvaged stderr into the (possibly absent) stderr array."""
+    if value is None:
+        if stderrs is not None:
+            stderrs[index] = np.nan
+        return stderrs
+    if stderrs is None:
+        return stderrs
+    stderrs[index] = value
+    return stderrs
+
+
+def _salvage_sweep(session: Session, axes: SweepAxes,
+                   policy: FailurePolicy) -> SweepResult:
+    """Per-point execution of the whole sweep (the fast path raised)."""
+    n_points = len(axes)
+    currents = np.full(n_points, np.nan)
+    stderr_values: List[Optional[float]] = [None] * n_points
+    records: List[PointRecord] = []
+    failures = 0
+    stopped = False
+    for index, bias in enumerate(axes.bias_points()):
+        if stopped:
+            records.append(PointRecord(index=index, status=STATUS_SKIPPED,
+                                       attempts=0))
+            continue
+        observed, record = solve_point_with_policy(session, bias, index,
+                                                   policy)
+        records.append(record)
+        if observed is None:
+            failures += 1
+            if policy.max_failures is not None \
+                    and failures > policy.max_failures:
+                stopped = True
+            continue
+        currents[index] = observed.current
+        stderr_values[index] = observed.stderr
+    if any(value is not None for value in stderr_values):
+        stderrs: Optional[np.ndarray] = np.asarray(
+            [np.nan if value is None else value for value in stderr_values])
+    else:
+        stderrs = None
+    return SweepResult(axes=axes, currents=currents, stderrs=stderrs,
+                       engine=session.engine_name, statuses=tuple(records))
+
+
+def run_policy_sweep(session: Session, axes: SweepAxes,
+                     policy: FailurePolicy, *,
+                     workers: int = 1) -> SweepResult:
+    """Run a gate sweep under a failure policy (partial results, never aborts).
+
+    The optimistic structure: try the engine's whole-sweep fast path first;
+    salvage per point only when it raises, and re-solve only the non-finite
+    points when the health guard flags some.  See the module docstring for
+    the full semantics.
+
+    Parameters
+    ----------
+    session:
+        The bound session.
+    axes:
+        Gate axis plus fixed drain bias.
+    policy:
+        The failure policy.
+    workers:
+        Worker processes for the fast-path fan-out; a crashing pool is
+        recovered serially before per-point salvage.
+
+    Returns
+    -------
+    SweepResult
+        With ``statuses`` populated (one typed record per point) and NaN
+        currents at abandoned points.
+    """
+    n_points = len(axes)
+    try:
+        with capture_degradations() as events:
+            inject("sweep.fast")
+            fast = _fast_sweep(session, axes, workers)
+    except Exception as error:
+        emit_degradation("sweep.fast", "salvage:per-point", repr(error))
+        return _salvage_sweep(session, axes, policy)
+    # The broadcast path cannot attribute a degradation event to one point,
+    # so a degraded fast sweep marks every point degraded (detail says why).
+    status = STATUS_DEGRADED if events else STATUS_OK
+    detail = _event_detail(events)
+    records = list(_shared_records(n_points, status, detail))
+    currents = np.array(fast.currents, dtype=float, copy=True)
+    stderrs = None if fast.stderrs is None \
+        else np.array(fast.stderrs, dtype=float, copy=True)
+    if policy.health_guard:
+        failures = 0
+        for index in np.flatnonzero(~np.isfinite(currents)).tolist():
+            if policy.max_failures is not None \
+                    and failures > policy.max_failures:
+                records[index] = PointRecord(index=index,
+                                             status=STATUS_SKIPPED,
+                                             attempts=0)
+                continue
+            bias = BiasPoint(gate_voltage=axes.gate_voltages[index],
+                             drain_voltage=axes.drain_voltage)
+            observed, record = solve_point_with_policy(session, bias, index,
+                                                       policy)
+            records[index] = record
+            if observed is None:
+                failures += 1
+                currents[index] = np.nan
+                stderrs = _merge_stderr(stderrs, index, None)
+                continue
+            currents[index] = observed.current
+            stderrs = _merge_stderr(stderrs, index, observed.stderr)
+    return SweepResult(axes=axes, currents=currents, stderrs=stderrs,
+                       engine=fast.engine, statuses=tuple(records))
+
+
+def stream_with_policy(session: Session, axes: SweepAxes,
+                       policy: FailurePolicy,
+                       on_status: Optional[Callable[[PointRecord], None]]
+                       = None) -> Iterator[Tuple[float, Observables]]:
+    """Stream a sweep point by point under a failure policy.
+
+    Abandoned points are yielded with NaN current (consumers keep their
+    axis alignment); once the sweep budget ``max_failures`` is exhausted the
+    stream notifies ``skipped`` records for the remaining points and stops.
+
+    Parameters
+    ----------
+    session:
+        The bound session.
+    axes:
+        Gate axis plus fixed drain bias.
+    policy:
+        The failure policy.
+    on_status:
+        Optional callback receiving every :class:`PointRecord` (including
+        the trailing ``skipped`` ones) as it is decided.
+
+    Yields
+    ------
+    (gate_voltage, Observables)
+        One pair per attempted point, in axis order.
+    """
+    failures = 0
+    points = list(axes.bias_points())
+    for index, bias in enumerate(points):
+        observed, record = solve_point_with_policy(session, bias, index,
+                                                   policy)
+        if on_status is not None:
+            on_status(record)
+        if observed is None:
+            failures += 1
+            observed = Observables(current=float("nan"),
+                                   engine=session.engine_name)
+            if policy.max_failures is not None \
+                    and failures > policy.max_failures:
+                yield bias.gate_voltage, observed
+                if on_status is not None:
+                    for rest in range(index + 1, len(points)):
+                        on_status(PointRecord(index=rest,
+                                              status=STATUS_SKIPPED,
+                                              attempts=0))
+                return
+        yield bias.gate_voltage, observed
+
+
+__all__ = [
+    "run_policy_sweep",
+    "solve_point_with_policy",
+    "stream_with_policy",
+]

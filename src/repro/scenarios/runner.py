@@ -140,8 +140,14 @@ class ScenarioRunner:
                 "spec_hash": spec_hash,
                 "payload": result.payload_dict(),
             })
-            result.meta["artifact"] = str(path)
-            self.log(f"stored {spec.name!r} result at {path}")
+            if path is None:
+                # Unwritable cache: the run still succeeded, it just will
+                # not be served from cache next time.
+                self.log(f"could not store {spec.name!r} result "
+                         "(cache unwritable; run completed uncached)")
+            else:
+                result.meta["artifact"] = str(path)
+                self.log(f"stored {spec.name!r} result at {path}")
         return result
 
     def run_spec(self, spec: ScenarioSpec,

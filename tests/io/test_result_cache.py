@@ -114,3 +114,116 @@ class TestResultCache:
         cache = ResultCache(tmp_path / "never-created")
         assert cache.load(cache.key_for("x")) is None
         assert cache.clear() == 0
+
+
+class TestCacheIntegrityAndCounters:
+    """Corruption, degraded stores, and the hit/miss/eviction evidence trail."""
+
+    def test_stats_counters_track_miss_hit_evict(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(content_hash({"spec": 1}))
+        assert cache.load(key) is None                       # miss
+        cache.store(key, {"payload": 1})
+        assert cache.load(key) is not None                   # hit
+        cache.path_for(key).write_text("{broken")
+        assert cache.load(key) is None                       # evict (+miss)
+        assert cache.stats() == {"hits": 1, "misses": 2, "evictions": 1,
+                                 "store_failures": 0}
+
+    def test_loaded_payload_does_not_leak_the_embedded_key(self, tmp_path):
+        from repro.io.results import CACHE_KEY_FIELD
+
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("x")
+        cache.store(key, {"payload": 1})
+        loaded = cache.load(key)
+        assert loaded == {"payload": 1}
+        assert CACHE_KEY_FIELD not in loaded
+        # ... but the on-disk artifact does carry it.
+        assert CACHE_KEY_FIELD in json.loads(cache.path_for(key).read_text())
+
+    def test_renamed_artifact_is_evicted_on_key_mismatch(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key_a = cache.key_for("a")
+        key_b = cache.key_for("b")
+        cache.store(key_a, {"payload": 1})
+        # Simulate a mis-filed artifact (copied/renamed by hand).
+        cache.path_for(key_b).write_text(cache.path_for(key_a).read_text())
+        assert cache.load(key_b) is None
+        assert not cache.path_for(key_b).exists()
+        assert cache.evictions == 1
+        # The correctly filed original is untouched.
+        assert cache.load(key_a) == {"payload": 1}
+
+    def test_unwritable_cache_root_degrades_store_to_none(self, tmp_path):
+        from repro.resilience.events import capture_degradations
+
+        # Point the cache root at an existing *file*: mkdir raises OSError
+        # even for root, which chmod-based tests would not.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("I am in the way")
+        cache = ResultCache(blocker / "cache")
+        with capture_degradations() as events:
+            assert cache.store(cache.key_for("x"), {"payload": 1}) is None
+        assert cache.store_failures == 1
+        assert [(e.site, e.action) for e in events] \
+            == [("cache.store", "degrade:uncached")]
+
+    def test_injected_store_failure_degrades_instead_of_raising(self,
+                                                                tmp_path):
+        from repro.resilience import FaultInjector
+        from repro.resilience.events import capture_degradations
+
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("x")
+        chaos = FaultInjector()
+        chaos.arm("cache.store", error=OSError("disk full"), times=1)
+        with chaos, capture_degradations() as events:
+            assert cache.store(key, {"payload": 1}) is None
+            # The next store (fault exhausted) succeeds.
+            assert cache.store(key, {"payload": 2}) is not None
+        assert cache.store_failures == 1
+        assert any(e.site == "cache.store" for e in events)
+        assert cache.load(key) == {"payload": 2}
+        # No temp-file residue from the degraded attempt.
+        assert [p for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+
+    def test_injected_load_truncation_is_evicted_as_corruption(self,
+                                                               tmp_path):
+        from repro.resilience import FaultInjector
+
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("x")
+        cache.store(key, {"payload": 1})
+        chaos = FaultInjector()
+        chaos.arm("cache.load", mutate=lambda text: text[: len(text) // 2],
+                  times=1)
+        with chaos:
+            assert cache.load(key) is None
+        assert cache.evictions == 1
+        assert not cache.path_for(key).exists()
+
+    def test_eviction_of_an_unremovable_artifact_still_reads_as_miss(
+            self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        cache = ResultCache(tmp_path)
+        key = cache.key_for("x")
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text("{broken")
+        monkeypatch.setattr(Path, "unlink",
+                            lambda self, *a, **k: (_ for _ in ()).throw(
+                                OSError("immutable")))
+        assert cache.load(key) is None
+        assert cache.evictions == 1
+
+    def test_store_failure_then_recovery_round_trip(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("block")
+        degraded = ResultCache(blocker / "cache")
+        key = degraded.key_for("spec")
+        assert degraded.store(key, {"payload": 1}) is None
+        assert degraded.load(key) is None            # nothing was persisted
+        healthy = ResultCache(tmp_path / "cache")
+        healthy.store(key, {"payload": 1})
+        assert healthy.load(key) == {"payload": 1}

@@ -1,0 +1,1 @@
+"""Chaos suite for the fault-tolerant execution layer (repro.resilience)."""

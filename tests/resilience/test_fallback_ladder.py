@@ -1,0 +1,159 @@
+"""Tests for the splu -> GMRES -> dense -> power-iteration stationary ladder."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import ConvergenceError
+from repro.master import steadystate
+from repro.master.steadystate import MasterEquationSolver
+from repro.resilience import FaultInjector
+from repro.resilience.events import capture_degradations
+
+from ..conftest import build_set_circuit
+
+DRAIN = "J_drain"
+
+
+def conducting_circuit():
+    # A conducting operating point with a stiff generator: GMRES genuinely
+    # cannot converge here, so an injected splu failure exercises the full
+    # splu -> GMRES -> dense chain.
+    return build_set_circuit(drain_voltage=2e-3, gate_voltage=0.04)
+
+
+def sparse_solver():
+    """The sparse backend, where the fallback ladder lives."""
+    return MasterEquationSolver(conducting_circuit(), temperature=1.0,
+                                method="sparse")
+
+
+@pytest.fixture(scope="module")
+def dense_reference():
+    """Dense-backend current: the ladder's accuracy yardstick."""
+    solver = MasterEquationSolver(conducting_circuit(), temperature=1.0,
+                                  method="dense")
+    return solver.current(DRAIN)
+
+
+def assert_close_to_reference(value, reference, rtol=1e-10):
+    assert np.isfinite(value)
+    assert abs(value - reference) <= rtol * abs(reference)
+
+
+class TestFallbackLadder:
+    def test_clean_sparse_solve_matches_dense(self, dense_reference):
+        with capture_degradations() as events:
+            current = sparse_solver().current(DRAIN)
+        assert events == []
+        assert_close_to_reference(current, dense_reference)
+
+    def test_injected_splu_failure_recovers_to_within_1e10_of_dense(
+            self, dense_reference):
+        # The acceptance criterion: kill splu and the ladder still delivers
+        # the dense answer.  On this stiff generator GMRES tries, raises
+        # ConvergenceError, and the dense rung completes the recovery.
+        chaos = FaultInjector()
+        chaos.arm("steadystate.splu", error=RuntimeError("injected splu"),
+                  times=None)
+        with chaos, capture_degradations() as events:
+            current = sparse_solver().current(DRAIN)
+        assert chaos.fired("steadystate.splu") > 0
+        assert_close_to_reference(current, dense_reference, rtol=1e-10)
+        actions = [(e.site, e.action) for e in events]
+        assert actions[0] == ("steadystate.splu", "fallback:gmres")
+        assert ("steadystate.gmres", "fallback:dense") in actions
+
+    def test_gmres_rung_recovers_when_it_can_converge(self):
+        # On a milder (near-blockade) generator GMRES does converge, so an
+        # injected splu failure is recovered one rung down, not two.  The
+        # currents there are astronomically small; compare the stationary
+        # distributions instead, which are O(1).
+        circuit = build_set_circuit(drain_voltage=2e-3, gate_voltage=0.02)
+        reference = MasterEquationSolver(
+            circuit, temperature=1.0, method="dense").solve().probabilities
+        chaos = FaultInjector()
+        chaos.arm("steadystate.splu", error=RuntimeError("injected splu"),
+                  times=None)
+        with chaos, capture_degradations() as events:
+            recovered = MasterEquationSolver(
+                circuit, temperature=1.0,
+                method="sparse").solve().probabilities
+        np.testing.assert_allclose(recovered, reference, atol=1e-12)
+        assert {(e.site, e.action) for e in events} \
+            == {("steadystate.splu", "fallback:gmres")}
+
+    def test_splu_and_gmres_failures_recover_through_dense(
+            self, dense_reference):
+        chaos = FaultInjector()
+        chaos.arm("steadystate.splu", error=RuntimeError("injected splu"),
+                  times=None)
+        chaos.arm("steadystate.gmres", error=RuntimeError("injected gmres"),
+                  times=None)
+        with chaos, capture_degradations() as events:
+            current = sparse_solver().current(DRAIN)
+        assert_close_to_reference(current, dense_reference)
+        actions = {(e.site, e.action) for e in events}
+        assert ("steadystate.splu", "fallback:gmres") in actions
+        assert ("steadystate.gmres", "fallback:dense") in actions
+
+    def test_whole_direct_ladder_failure_recovers_through_power_iteration(
+            self, dense_reference):
+        chaos = FaultInjector()
+        for site in ("steadystate.splu", "steadystate.gmres",
+                     "steadystate.dense"):
+            chaos.arm(site, error=RuntimeError(f"injected {site}"),
+                      times=None)
+        with chaos, capture_degradations() as events:
+            current = sparse_solver().current(DRAIN)
+        assert_close_to_reference(current, dense_reference, rtol=1e-10)
+        actions = {(e.site, e.action) for e in events}
+        assert ("steadystate.dense", "fallback:power-iteration") in actions
+
+    def test_injection_sites_are_inert_without_an_active_injector(
+            self, dense_reference):
+        chaos = FaultInjector()
+        chaos.arm("steadystate.splu", error=RuntimeError("never"),
+                  times=None)
+        # Armed but not activated: the solve must be untouched.
+        with capture_degradations() as events:
+            current = sparse_solver().current(DRAIN)
+        assert events == []
+        assert chaos.fired("steadystate.splu") == 0
+        assert_close_to_reference(current, dense_reference)
+
+
+class TestGmresConvergenceError:
+    def _augmented(self, size=4):
+        matrix = sparse.eye(size, format="csc")
+        rhs = np.zeros(size)
+        rhs[-1] = 1.0
+        return matrix, rhs
+
+    def test_nonzero_info_raises_convergence_error_with_iterations(
+            self, monkeypatch):
+        augmented, rhs = self._augmented()
+
+        def unconverged_gmres(*args, **kwargs):
+            return np.zeros(augmented.shape[0]), 7
+
+        monkeypatch.setattr(steadystate, "gmres", unconverged_gmres)
+        with pytest.raises(ConvergenceError) as excinfo:
+            steadystate._gmres_stationary(augmented, rhs)
+        assert excinfo.value.iterations == 7
+        assert "info=7" in str(excinfo.value)
+
+    def test_negative_info_raises_without_an_iteration_count(
+            self, monkeypatch):
+        augmented, rhs = self._augmented()
+        monkeypatch.setattr(
+            steadystate, "gmres",
+            lambda *args, **kwargs: (np.zeros(augmented.shape[0]), -1))
+        with pytest.raises(ConvergenceError) as excinfo:
+            steadystate._gmres_stationary(augmented, rhs)
+        assert excinfo.value.iterations is None
+
+    def test_identity_system_solves_cleanly(self):
+        augmented, rhs = self._augmented()
+        solution = steadystate._gmres_stationary(augmented, rhs)
+        np.testing.assert_allclose(solution, rhs, atol=1e-10)

@@ -1,0 +1,178 @@
+"""Tests for the deterministic fault-injection harness itself."""
+
+import pytest
+
+from repro.errors import FaultInjected, ResilienceError
+from repro.resilience import (
+    FaultInjector,
+    SITES,
+    active_injector,
+    inject,
+    inject_value,
+)
+
+
+class TestArming:
+    def test_unknown_site_is_rejected_at_arm_time(self):
+        injector = FaultInjector()
+        with pytest.raises(ResilienceError, match="unknown fault site"):
+            injector.arm("steadystate.splooo")
+
+    def test_negative_after_is_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultInjector().arm("session.solve", after=-1)
+
+    def test_negative_times_is_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultInjector().arm("session.solve", times=-2)
+
+    def test_probability_outside_unit_interval_is_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultInjector().arm("session.solve", probability=1.5)
+
+    def test_every_registered_site_can_be_armed(self):
+        injector = FaultInjector()
+        for site in SITES:
+            injector.arm(site)
+
+    def test_disarm_and_reset(self):
+        injector = FaultInjector()
+        injector.arm("session.solve")
+        assert injector.disarm("session.solve") is True
+        assert injector.disarm("session.solve") is False
+        injector.arm("session.solve")
+        injector.arm("sweep.fast")
+        injector.reset()
+        with injector:
+            inject("session.solve")
+            inject("sweep.fast")
+
+
+class TestFiring:
+    def test_inactive_injector_sites_are_no_ops(self):
+        assert active_injector() is None
+        inject("session.solve")
+        assert inject_value("master.current", 1.5) == 1.5
+
+    def test_default_arm_raises_fault_injected_once(self):
+        injector = FaultInjector()
+        spec = injector.arm("session.solve")
+        with injector:
+            with pytest.raises(FaultInjected):
+                inject("session.solve")
+            inject("session.solve")  # times=1 exhausted: passes through
+        assert spec.calls == 2
+        assert spec.fires == 1
+        assert injector.fired("session.solve") == 1
+        assert injector.calls("session.solve") == 2
+
+    def test_custom_exception_instance_and_class(self):
+        injector = FaultInjector()
+        injector.arm("session.solve", error=RuntimeError("boom"))
+        injector.arm("sweep.fast", error=ValueError)
+        with injector:
+            with pytest.raises(RuntimeError, match="boom"):
+                inject("session.solve")
+            with pytest.raises(ValueError):
+                inject("sweep.fast")
+
+    def test_after_skips_initial_calls(self):
+        injector = FaultInjector()
+        injector.arm("checkpoint.chunk", after=2, times=1)
+        with injector:
+            inject("checkpoint.chunk")
+            inject("checkpoint.chunk")
+            with pytest.raises(FaultInjected):
+                inject("checkpoint.chunk")
+            inject("checkpoint.chunk")
+        assert injector.fired("checkpoint.chunk") == 1
+        assert injector.calls("checkpoint.chunk") == 4
+
+    def test_times_none_fires_forever(self):
+        injector = FaultInjector()
+        injector.arm("steadystate.splu", times=None)
+        with injector:
+            for _ in range(5):
+                with pytest.raises(FaultInjected):
+                    inject("steadystate.splu")
+        assert injector.fired("steadystate.splu") == 5
+
+    def test_probability_is_deterministic_for_a_seed(self):
+        def fire_pattern(seed):
+            injector = FaultInjector(seed=seed)
+            injector.arm("session.solve", probability=0.5, times=None)
+            pattern = []
+            with injector:
+                for _ in range(32):
+                    try:
+                        inject("session.solve")
+                        pattern.append(False)
+                    except FaultInjected:
+                        pattern.append(True)
+            return pattern
+
+        assert fire_pattern(7) == fire_pattern(7)
+        assert any(fire_pattern(7))
+        assert not all(fire_pattern(7))
+        assert fire_pattern(7) != fire_pattern(8)
+
+    def test_value_replacement(self):
+        injector = FaultInjector()
+        injector.arm("master.current", value=float("nan"), times=1)
+        with injector:
+            import math
+            assert math.isnan(inject_value("master.current", 1.0))
+            assert inject_value("master.current", 2.0) == 2.0
+
+    def test_value_none_is_a_real_replacement(self):
+        injector = FaultInjector()
+        injector.arm("master.current", value=None, times=1)
+        with injector:
+            assert inject_value("master.current", 1.0) is None
+
+    def test_mutation(self):
+        injector = FaultInjector()
+        injector.arm("cache.load", mutate=lambda text: text[:3], times=1)
+        with injector:
+            assert inject_value("cache.load", "0123456789") == "012"
+
+    def test_value_site_with_error_arm_raises(self):
+        injector = FaultInjector()
+        injector.arm("montecarlo.current", error=RuntimeError("poisoned"))
+        with injector:
+            with pytest.raises(RuntimeError, match="poisoned"):
+                inject_value("montecarlo.current", 1.0)
+
+    def test_delay_arm_sleeps_before_raising(self):
+        import time
+
+        injector = FaultInjector()
+        injector.arm("session.solve", delay_s=0.02)
+        with injector:
+            started = time.perf_counter()
+            with pytest.raises(FaultInjected):
+                inject("session.solve")
+            assert time.perf_counter() - started >= 0.02
+
+
+class TestActivation:
+    def test_context_manager_deactivates_even_on_propagated_fault(self):
+        injector = FaultInjector()
+        injector.arm("session.solve", times=None)
+        with pytest.raises(FaultInjected):
+            with injector:
+                assert active_injector() is injector
+                inject("session.solve")
+        assert active_injector() is None
+        inject("session.solve")  # inactive again: no-op
+
+    def test_deactivate_is_a_no_op_for_a_non_active_injector(self):
+        first = FaultInjector()
+        second = FaultInjector()
+        first.activate()
+        try:
+            second.deactivate()
+            assert active_injector() is first
+        finally:
+            first.deactivate()
+        assert active_injector() is None

@@ -1,0 +1,401 @@
+"""Tests for failure policies, typed point statuses, and the policy executor."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.devices import SETTransistor
+from repro.engines import Observables, SweepAxes, get_engine
+from repro.errors import ResilienceError, ValidationError
+from repro.resilience import (
+    FailurePolicy,
+    FaultInjector,
+    PointRecord,
+    SOLVED_STATUSES,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RETRIED,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    VALID_STATUSES,
+    empty_records,
+    run_policy_sweep,
+    solve_point_with_policy,
+    stream_with_policy,
+)
+from repro.resilience.events import capture_degradations
+
+DRAIN_VOLTAGE = 2e-3
+
+
+@pytest.fixture(scope="module")
+def device():
+    return SETTransistor(junction_capacitance=1e-18, gate_capacitance=2e-18,
+                         junction_resistance=1e6)
+
+
+@pytest.fixture(scope="module")
+def axes(device):
+    gates = np.linspace(0.2, 0.8, 5) * device.gate_period
+    return SweepAxes(gates, DRAIN_VOLTAGE)
+
+
+def analytic_session(device):
+    return get_engine("analytic").bind(device, temperature=1.0)
+
+
+class _StubSession:
+    """Duck-typed session with scriptable solve/sweep behaviour."""
+
+    engine_name = "stub"
+
+    def __init__(self, solve=None, sweep=None):
+        self._solve = solve
+        self._sweep = sweep
+
+    def solve(self, bias):
+        return self._solve(bias)
+
+    def sweep(self, axes, *, workers=1, policy=None):
+        return self._sweep(axes, workers)
+
+
+class TestFailurePolicy:
+    def test_defaults_and_constructors(self):
+        policy = FailurePolicy()
+        assert policy.max_retries == 1
+        assert policy.health_guard is True
+        strict = FailurePolicy.strict()
+        assert strict.max_retries == 0
+        assert strict.max_failures == 0
+        lenient = FailurePolicy.lenient(max_retries=3)
+        assert lenient.max_retries == 3
+        assert lenient.max_failures is None
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            FailurePolicy(max_retries=-1)
+        with pytest.raises(ResilienceError):
+            FailurePolicy(backoff_s=-0.5)
+        with pytest.raises(ResilienceError):
+            FailurePolicy(point_timeout_s=0.0)
+        with pytest.raises(ResilienceError):
+            FailurePolicy(max_failures=-1)
+
+    def test_backoff_doubles(self):
+        policy = FailurePolicy(backoff_s=0.1)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.2)
+        assert policy.backoff_for(3) == pytest.approx(0.4)
+        assert FailurePolicy(backoff_s=0.0).backoff_for(5) == 0.0
+
+    def test_as_dict_is_json_able(self):
+        import json
+
+        payload = FailurePolicy(max_retries=2, point_timeout_s=1.5).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestPointRecord:
+    def test_invalid_status_is_rejected(self):
+        with pytest.raises(ResilienceError):
+            PointRecord(index=0, status="exploded")
+
+    def test_negative_index_is_rejected(self):
+        with pytest.raises(ResilienceError):
+            PointRecord(index=-1, status=STATUS_OK)
+
+    def test_solved_property_tracks_solved_statuses(self):
+        for status in VALID_STATUSES:
+            record = PointRecord(index=0, status=status,
+                                 attempts=0 if status == STATUS_SKIPPED else 1)
+            assert record.solved == (status in SOLVED_STATUSES)
+
+    def test_dict_round_trip(self):
+        record = PointRecord(index=3, status=STATUS_RETRIED, attempts=2,
+                             error="RuntimeError('x')", detail="a->b")
+        assert PointRecord.from_dict(record.as_dict()) == record
+
+    def test_empty_records(self):
+        records = empty_records(3)
+        assert [r.index for r in records] == [0, 1, 2]
+        assert all(r.status == STATUS_SKIPPED and r.attempts == 0
+                   for r in records)
+
+
+class TestSolvePointWithPolicy:
+    def test_clean_point_is_ok(self, device):
+        session = analytic_session(device)
+        bias = next(iter(SweepAxes([0.02], DRAIN_VOLTAGE).bias_points()))
+        observed, record = solve_point_with_policy(session, bias, 0,
+                                                   FailurePolicy())
+        assert observed is not None
+        assert np.isfinite(observed.current)
+        assert record.status == STATUS_OK
+        assert record.attempts == 1
+
+    def test_injected_failure_is_retried(self, device):
+        session = analytic_session(device)
+        bias = next(iter(SweepAxes([0.02], DRAIN_VOLTAGE).bias_points()))
+        chaos = FaultInjector()
+        chaos.arm("session.solve", error=RuntimeError("transient"), times=1)
+        with chaos:
+            observed, record = solve_point_with_policy(
+                session, bias, 0, FailurePolicy(max_retries=1))
+        assert observed is not None
+        assert record.status == STATUS_RETRIED
+        assert record.attempts == 2
+
+    def test_exhausted_retries_fail_with_the_last_error(self, device):
+        session = analytic_session(device)
+        bias = next(iter(SweepAxes([0.02], DRAIN_VOLTAGE).bias_points()))
+        chaos = FaultInjector()
+        chaos.arm("session.solve", error=RuntimeError("permanent"),
+                  times=None)
+        with chaos:
+            observed, record = solve_point_with_policy(
+                session, bias, 0, FailurePolicy(max_retries=2))
+        assert observed is None
+        assert record.status == STATUS_FAILED
+        assert record.attempts == 3
+        assert "permanent" in record.error
+
+    def test_health_guard_rejects_non_finite_currents(self):
+        session = _StubSession(
+            solve=lambda bias: Observables(current=float("nan"),
+                                           engine="stub"))
+        bias = next(iter(SweepAxes([0.0], DRAIN_VOLTAGE).bias_points()))
+        observed, record = solve_point_with_policy(
+            session, bias, 0, FailurePolicy(max_retries=0))
+        assert observed is None
+        assert record.status == STATUS_FAILED
+        assert "health guard" in record.error
+
+    def test_health_guard_off_keeps_non_finite_currents(self):
+        session = _StubSession(
+            solve=lambda bias: Observables(current=float("inf"),
+                                           engine="stub"))
+        bias = next(iter(SweepAxes([0.0], DRAIN_VOLTAGE).bias_points()))
+        observed, record = solve_point_with_policy(
+            session, bias, 0, FailurePolicy(health_guard=False))
+        assert observed is not None
+        assert record.status == STATUS_OK
+
+    def test_timeout_abandons_immediately_without_retry(self):
+        calls = []
+
+        def slow_solve(bias):
+            calls.append(bias)
+            time.sleep(0.5)
+            return Observables(current=1.0, engine="stub")
+
+        session = _StubSession(solve=slow_solve)
+        bias = next(iter(SweepAxes([0.0], DRAIN_VOLTAGE).bias_points()))
+        started = time.perf_counter()
+        observed, record = solve_point_with_policy(
+            session, bias, 0,
+            FailurePolicy(max_retries=3, point_timeout_s=0.05))
+        elapsed = time.perf_counter() - started
+        assert observed is None
+        assert record.status == STATUS_TIMEOUT
+        assert record.attempts == 1       # a hung solver is not retried
+        assert len(calls) == 1
+        assert elapsed < 0.45             # abandoned, not awaited
+
+    def test_degraded_status_when_a_fallback_event_fired_during_solve(self):
+        def degrading_solve(bias):
+            from repro.resilience.events import emit_degradation
+            emit_degradation("steadystate.splu", "fallback:gmres", "test")
+            return Observables(current=1.0, engine="stub")
+
+        session = _StubSession(solve=degrading_solve)
+        bias = next(iter(SweepAxes([0.0], DRAIN_VOLTAGE).bias_points()))
+        observed, record = solve_point_with_policy(session, bias, 0,
+                                                   FailurePolicy())
+        assert observed is not None
+        assert record.status == STATUS_DEGRADED
+        assert "steadystate.splu->fallback:gmres" in record.detail
+
+
+class TestRunPolicySweep:
+    def test_clean_sweep_is_bit_identical_to_the_plain_sweep(self, device,
+                                                             axes):
+        session = analytic_session(device)
+        plain = session.sweep(axes)
+        policed = run_policy_sweep(session, axes, FailurePolicy())
+        assert np.array_equal(plain.currents, policed.currents)
+        assert policed.statuses is not None
+        assert policed.status_counts() == {STATUS_OK: len(axes)}
+        assert policed.solved_mask().all()
+
+    def test_session_sweep_policy_kwarg_routes_through_the_executor(
+            self, device, axes):
+        session = analytic_session(device)
+        result = session.sweep(axes, policy=FailurePolicy())
+        assert result.statuses is not None
+        assert result.status_counts() == {STATUS_OK: len(axes)}
+
+    def test_fast_path_crash_salvages_per_point_bit_identically(
+            self, device, axes):
+        session = analytic_session(device)
+        reference = session.sweep(axes)
+        chaos = FaultInjector()
+        chaos.arm("sweep.fast", error=RuntimeError("fast path down"),
+                  times=None)
+        with chaos, capture_degradations() as events:
+            salvaged = run_policy_sweep(session, axes, FailurePolicy())
+        assert np.array_equal(reference.currents, salvaged.currents)
+        assert salvaged.status_counts() == {STATUS_OK: len(axes)}
+        assert any(e.site == "sweep.fast" and e.action == "salvage:per-point"
+                   for e in events)
+
+    def test_injected_point_failures_yield_a_partial_result_not_an_exception(
+            self, device, axes):
+        session = analytic_session(device)
+        chaos = FaultInjector()
+        chaos.arm("sweep.fast", times=None)    # force per-point execution
+        chaos.arm("session.solve", error=RuntimeError("flaky"),
+                  after=1, times=2)            # kill points 1 and 2 outright
+        with chaos:
+            result = run_policy_sweep(session, axes,
+                                      FailurePolicy(max_retries=0))
+        counts = result.status_counts()
+        assert counts == {STATUS_OK: len(axes) - 2, STATUS_FAILED: 2}
+        assert np.isnan(result.currents[1]) and np.isnan(result.currents[2])
+        assert np.isfinite(result.currents[result.solved_mask()]).all()
+        failed = [r for r in result.statuses if r.status == STATUS_FAILED]
+        assert [r.index for r in failed] == [1, 2]
+        assert all("flaky" in r.error for r in failed)
+
+    def test_transient_point_failures_are_retried_in_place(self, device,
+                                                           axes):
+        session = analytic_session(device)
+        reference = session.sweep(axes)
+        chaos = FaultInjector()
+        chaos.arm("sweep.fast", times=None)
+        chaos.arm("session.solve", error=RuntimeError("transient"),
+                  after=1, times=1)            # point 1 fails once
+        with chaos:
+            result = run_policy_sweep(session, axes,
+                                      FailurePolicy(max_retries=1))
+        assert np.array_equal(reference.currents, result.currents)
+        assert result.status_counts() == {STATUS_OK: len(axes) - 1,
+                                          STATUS_RETRIED: 1}
+        assert result.statuses[1].status == STATUS_RETRIED
+        assert result.statuses[1].attempts == 2
+
+    def test_max_failures_skips_the_rest_of_the_sweep(self, device, axes):
+        session = analytic_session(device)
+        chaos = FaultInjector()
+        chaos.arm("sweep.fast", times=None)
+        chaos.arm("session.solve", error=RuntimeError("down"), times=None)
+        with chaos:
+            result = run_policy_sweep(
+                session, axes, FailurePolicy(max_retries=0, max_failures=1))
+        counts = result.status_counts()
+        assert counts[STATUS_FAILED] == 2     # budget 1 + the breaching point
+        assert counts[STATUS_SKIPPED] == len(axes) - 2
+        assert np.isnan(result.currents).all()
+        skipped = [r for r in result.statuses if r.status == STATUS_SKIPPED]
+        assert all(r.attempts == 0 for r in skipped)
+
+    def test_health_guard_resolves_non_finite_fast_path_points(self, axes):
+        fixed = np.linspace(1.0, 2.0, len(axes))
+
+        def holey_sweep(sweep_axes, workers):
+            from repro.engines import SweepResult
+            currents = fixed.copy()
+            currents[2] = np.nan
+            return SweepResult(axes=sweep_axes, currents=currents,
+                               stderrs=None, engine="stub")
+
+        session = _StubSession(
+            solve=lambda bias: Observables(current=float(fixed[2]),
+                                           engine="stub"),
+            sweep=holey_sweep)
+        result = run_policy_sweep(session, axes, FailurePolicy())
+        assert np.array_equal(result.currents, fixed)
+        assert result.statuses[2].status == STATUS_OK
+        assert result.status_counts() == {STATUS_OK: len(axes)}
+
+    def test_worker_pool_crash_recovers_serially(self, axes):
+        fixed = np.linspace(1.0, 2.0, len(axes))
+        seen_workers = []
+
+        def crashing_pool_sweep(sweep_axes, workers):
+            from repro.engines import SweepResult
+            seen_workers.append(workers)
+            if workers > 1:
+                raise OSError("worker crashed")
+            return SweepResult(axes=sweep_axes, currents=fixed.copy(),
+                               stderrs=None, engine="stub")
+
+        session = _StubSession(sweep=crashing_pool_sweep)
+        with capture_degradations() as events:
+            result = run_policy_sweep(session, axes, FailurePolicy(),
+                                      workers=4)
+        assert seen_workers == [4, 1]
+        assert np.array_equal(result.currents, fixed)
+        # The whole-sweep path cannot attribute the recovery to one point,
+        # so every point is (correctly) marked degraded, not ok.
+        assert result.status_counts() == {STATUS_DEGRADED: len(axes)}
+        assert all("executor.pool->recover:serial" in r.detail
+                   for r in result.statuses)
+        assert result.solved_mask().all()
+        assert any(e.site == "executor.pool" and e.action == "recover:serial"
+                   for e in events)
+
+    def test_injected_pool_crash_recovers_serially(self, device, axes):
+        session = analytic_session(device)
+        reference = session.sweep(axes)
+        chaos = FaultInjector()
+        chaos.arm("executor.pool", error=OSError("pool gone"), times=None)
+        with chaos, capture_degradations() as events:
+            result = run_policy_sweep(session, axes, FailurePolicy(),
+                                      workers=2)
+        assert np.array_equal(reference.currents, result.currents)
+        assert any(e.site == "executor.pool" for e in events)
+
+
+class TestStreamWithPolicy:
+    def test_clean_stream_matches_the_plain_stream(self, device, axes):
+        session = analytic_session(device)
+        plain = [obs.current for _, obs in session.stream(axes)]
+        records = []
+        policed = [obs.current for _, obs in
+                   stream_with_policy(session, axes, FailurePolicy(),
+                                      on_status=records.append)]
+        assert plain == policed
+        assert [r.status for r in records] == [STATUS_OK] * len(axes)
+
+    def test_abandoned_points_stream_as_nan_and_budget_stops_the_stream(
+            self, device, axes):
+        session = analytic_session(device)
+        records = []
+        chaos = FaultInjector()
+        chaos.arm("session.solve", error=RuntimeError("down"), times=None)
+        with chaos:
+            streamed = list(stream_with_policy(
+                session, axes, FailurePolicy(max_retries=0, max_failures=1),
+                on_status=records.append))
+        # Budget 1 + the breaching point stream out with NaN, then it stops.
+        assert len(streamed) == 2
+        assert all(np.isnan(obs.current) for _, obs in streamed)
+        statuses = [r.status for r in records]
+        assert statuses[:2] == [STATUS_FAILED, STATUS_FAILED]
+        assert statuses[2:] == [STATUS_SKIPPED] * (len(axes) - 2)
+        assert [r.index for r in records] == list(range(len(axes)))
+
+    def test_session_stream_policy_kwarg(self, device, axes):
+        session = analytic_session(device)
+        records = []
+        list(session.stream(axes, policy=FailurePolicy(),
+                            on_status=records.append))
+        assert len(records) == len(axes)
+
+    def test_on_status_without_policy_is_rejected(self, device, axes):
+        session = analytic_session(device)
+        with pytest.raises(ValidationError):
+            list(session.stream(axes, on_status=lambda record: None))

@@ -49,6 +49,12 @@ SCOPED_MODULES = [
     "src/repro/master/steadystate.py",
     "src/repro/compact/set_model.py",
     "src/repro/compact/sweep.py",
+    "src/repro/resilience/__init__.py",
+    "src/repro/resilience/checkpoint.py",
+    "src/repro/resilience/events.py",
+    "src/repro/resilience/execution.py",
+    "src/repro/resilience/faults.py",
+    "src/repro/resilience/policy.py",
 ]
 
 #: (module, qualified name) pairs that must carry NumPy-style ``Parameters``
