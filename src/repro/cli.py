@@ -13,7 +13,11 @@ of :mod:`repro.engines`:
 * ``compare NAME`` — run one scenario under several registry-resolved
   engines and tabulate the metrics side by side;
 * ``engines`` — every registered engine with its capability flags,
-  exactness class, and cost model.
+  exactness class, and cost model;
+* ``design`` — run a design-space scan (``--spec FILE`` or ``--demo``) to a
+  feasibility map, or analyse one point's tolerance yield
+  (``--yield-point``);
+* ``faults`` — the named fault-injection sites of the resilience layer.
 """
 
 from __future__ import annotations
@@ -101,6 +105,35 @@ def build_parser() -> argparse.ArgumentParser:
                        "resilience layer")
     faults_parser.add_argument("--json", action="store_true",
                                help="machine-readable output")
+
+    design_parser = commands.add_parser(
+        "design", help="run a design-space scan to a feasibility map")
+    design_parser.add_argument("--spec", metavar="FILE",
+                               help="JSON/TOML design document (see "
+                                    "docs/design.md)")
+    design_parser.add_argument("--demo", action="store_true",
+                               help="run the built-in demo scan instead of "
+                                    "a spec file")
+    design_parser.add_argument("--engine", metavar="ENGINE",
+                               help="override the document's engine")
+    design_parser.add_argument("--workers", type=int, default=1,
+                               metavar="N",
+                               help="worker processes for chunk fan-out "
+                                    "(the map is identical for any N)")
+    design_parser.add_argument("--lenient", action="store_true",
+                               help="degrade failing points/chunks to "
+                                    "unknown verdicts instead of aborting")
+    design_parser.add_argument("--yield-point", type=int, metavar="INDEX",
+                               help="print the tolerance/corner analysis "
+                                    "of one grid point instead of scanning")
+    design_parser.add_argument("--no-cache", action="store_true",
+                               help="never read or write chunk checkpoints")
+    design_parser.add_argument("--cache-dir", metavar="DIR",
+                               help="checkpoint cache directory "
+                                    f"(default: {default_cache_dir()})")
+    design_parser.add_argument("--json", action="store_true",
+                               help="print the feasibility-map payload as "
+                                    "JSON")
     return parser
 
 
@@ -265,6 +298,113 @@ def _command_faults(arguments) -> int:
     return 0
 
 
+#: The built-in demo design document (``repro design --demo``).
+_DEMO_DESIGN = {
+    "name": "demo_feasibility",
+    "device": {"junction_capacitance": 1e-18, "gate_capacitance": 2e-18,
+               "junction_resistance": 1e6},
+    "axes": [
+        {"parameter": "gate_capacitance", "start": 5e-19, "stop": 8e-18,
+         "points": 16, "spacing": "log"},
+        {"parameter": "temperature",
+         "values": [0.5, 1.0, 2.0, 4.0, 8.0, 16.0]},
+    ],
+    "constraints": [
+        {"type": "gain", "threshold": 1.0},
+        {"type": "on_off_ratio", "threshold": 10.0},
+        {"type": "max_temperature"},
+        {"type": "modulation_depth", "threshold": 0.5},
+    ],
+    "chunk_size": 32,
+}
+
+#: Glyphs of the ASCII feasibility rendering, by verdict code.
+_VERDICT_GLYPHS = {1: "#", 0: ".", -1: "?"}
+
+
+def _render_design_map(feasibility) -> List[str]:
+    """ASCII rendering of a 1-D/2-D feasibility map (rows = first axis)."""
+    grid = feasibility.verdict_grid()
+    if grid.ndim == 1:
+        grid = grid.reshape(1, -1)
+    if grid.ndim != 2:
+        return [f"({grid.ndim}-D grid; use --json for the full payload)"]
+    lines = [f"rows: {feasibility.parameters[0]}; "
+             + (f"columns: {feasibility.parameters[1]}; "
+                if len(feasibility.parameters) > 1 else "")
+             + "# feasible, . infeasible, ? unknown"]
+    for row in grid:
+        lines.append("".join(_VERDICT_GLYPHS[int(v)] for v in row))
+    return lines
+
+
+def _command_design(arguments) -> int:
+    """Implement ``repro design``."""
+    from .design import DesignSpec, DeviceScan, analyze_yield
+    from .io.results import ResultCache
+    from .resilience.policy import FailurePolicy
+
+    if arguments.demo and arguments.spec:
+        print("--demo conflicts with --spec: give one or the other",
+              file=sys.stderr)
+        return 2
+    if arguments.demo:
+        spec = DesignSpec.from_dict(_DEMO_DESIGN)
+    elif arguments.spec:
+        spec = DesignSpec.load(arguments.spec)
+    else:
+        print("nothing to scan: give --spec FILE or --demo",
+              file=sys.stderr)
+        return 2
+    if arguments.engine is not None:
+        known = ["auto"] + engine_names()
+        if arguments.engine not in known:
+            print(f"unknown engine {arguments.engine!r}; registered "
+                  f"engines: {known} (see 'repro engines')", file=sys.stderr)
+            return 2
+        spec = spec.replace(engine=arguments.engine)
+
+    if arguments.yield_point is not None:
+        report = analyze_yield(spec, flat_index=arguments.yield_point)
+        if arguments.json:
+            print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+            return 0
+        point = ", ".join(f"{k}={v:g}" for k, v in report.point.items()) \
+            or "(base device)"
+        print(f"design point #{arguments.yield_point}: {point}")
+        print(f"seeded yield: {report.feasible_samples}/{report.samples} "
+              f"= {report.yield_fraction:.3f}")
+        print(f"worst case feasible: "
+              f"{'yes' if report.worst_case_feasible else 'no'}")
+        if report.corners:
+            print(format_table(
+                ["corner", "feasible"],
+                [[", ".join(f"{k}={v:g}"
+                            for k, v in corner["assignment"].items()),
+                  "yes" if corner["feasible"] else "no"]
+                 for corner in report.corners],
+                title=f"{len(report.corners)} worst-case corners"))
+        return 0
+
+    cache = None
+    if not arguments.no_cache:
+        cache = ResultCache(arguments.cache_dir or default_cache_dir())
+    policy = FailurePolicy.lenient() if arguments.lenient else None
+    scan = DeviceScan(spec, cache=cache, policy=policy)
+    feasibility = scan.run(workers=max(1, arguments.workers))
+    if arguments.json:
+        print(json.dumps(feasibility.to_payload(), indent=2,
+                         sort_keys=True))
+        return 0
+    print(f"=== {spec.name} [spec {spec.content_hash()[:12]}] ===")
+    for line in feasibility.summary_lines():
+        print(line)
+    print()
+    for line in _render_design_map(feasibility):
+        print(line)
+    return 0
+
+
 def _command_compare(arguments) -> int:
     """Implement ``repro compare``."""
     engines = [engine.strip() for engine in arguments.engines.split(",")
@@ -306,7 +446,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     handlers = {"list": _command_list, "describe": _command_describe,
                 "run": _command_run, "compare": _command_compare,
-                "engines": _command_engines, "faults": _command_faults}
+                "engines": _command_engines, "faults": _command_faults,
+                "design": _command_design}
     try:
         return handlers[arguments.command](arguments)
     except ReproError as error:

@@ -75,6 +75,14 @@ SITES: Dict[str, str] = {
     "cache.store":
         "error inside ResultCache.store (simulated unwritable cache "
         "directory; the store degrades instead of crashing the run)",
+    "design.point":
+        "error before evaluating one design-scan grid point (per-point "
+        "degrade under the scan's failure policy: unknown verdict, NaN "
+        "margins)",
+    "design.chunk":
+        "error before computing one design-scan checkpoint chunk "
+        "(simulated mid-scan crash; completed chunks stay persisted and "
+        "the scan resumes bit-identically)",
 }
 
 #: Sentinel distinguishing "no replacement value armed" from ``None``.

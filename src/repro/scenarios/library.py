@@ -863,4 +863,187 @@ register_scenario(Scenario(
 ))
 
 
+# -------------------------------------------------------------------- D1
+
+def _compute_design_margin_map(spec: ScenarioSpec,
+                               context: EngineContext) -> ScenarioResult:
+    """Classify a device grid against the paper's feasibility constraints."""
+    from ..design import DesignSpec, DeviceScan
+
+    design = DesignSpec.from_dict(
+        {**dict(spec.params["design"]), "engine": context.engine})
+    scan = DeviceScan(design)
+    feasibility = scan.run()
+
+    result = _new_result(spec, context)
+    counts = feasibility.counts()
+    result.metrics.update({
+        "grid_points": float(feasibility.size),
+        "feasible_points": float(counts["feasible"]),
+        "infeasible_points": float(counts["infeasible"]),
+        "unknown_points": float(counts["unknown"]),
+        "feasible_fraction": feasibility.feasible_fraction,
+    })
+    best = feasibility.most_robust_point()
+    if best is not None:
+        result.metrics["best_margin"] = float(feasibility.robustness[best])
+        for parameter, value in feasibility.point_parameters(best).items():
+            result.metrics[f"best_{parameter}"] = value
+    rows = []
+    for row, meta in enumerate(feasibility.constraints):
+        margins = feasibility.margins[row]
+        finite = margins[np.isfinite(margins)]
+        rows.append([meta["name"], meta["kind"], f"{meta['threshold']:g}",
+                     float(finite.min()), float(finite.max()),
+                     int(np.sum(finite >= 0.0))])
+    result.add_table(
+        ["constraint", "kind", "threshold", "min margin", "max margin",
+         "points passing"], rows,
+        title=f"constraint margins over the {feasibility.size}-point grid "
+              f"(engine = {context.engine})")
+    result.notes.extend(feasibility.summary_lines())
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="design_margin_map",
+        engine="auto",
+        temperature=1.0,
+        device=dict(STANDARD_DEVICE),
+        observables=("feasible_fraction", "feasible_points", "best_margin"),
+        seed=1,
+        params={"design": {
+            "name": "margin_map",
+            "device": dict(STANDARD_DEVICE),
+            "axes": [
+                {"parameter": "gate_capacitance", "start": 5e-19,
+                 "stop": 8e-18, "points": 12, "spacing": "log"},
+                {"parameter": "temperature",
+                 "values": [0.5, 1.0, 2.0, 4.0, 8.0, 16.0]},
+            ],
+            "constraints": [
+                {"type": "gain", "threshold": 1.0},
+                {"type": "on_off_ratio", "threshold": 10.0},
+                {"type": "max_temperature"},
+                {"type": "modulation_depth", "threshold": 0.5},
+            ],
+            "drain_voltage": 2e-3,
+            "chunk_size": 24,
+        }},
+    ),
+    compute=_compute_design_margin_map,
+    supported_engines=("auto", "analytic", "master"),
+    title="Design margin map: where the SET actually works",
+    claim="Single-electron devices only function inside narrow windows of "
+          "capacitance and temperature; the feasible region shrinks as "
+          "either grows (paper S2).",
+    expected=("a feasible region at small gate capacitance and low "
+              "temperature",
+              "feasible_fraction strictly between 0 and 1",
+              "per-constraint margin table with both passing and failing "
+              "points"),
+))
+
+
+# -------------------------------------------------------------------- D2
+
+def _compute_tolerance_yield(spec: ScenarioSpec,
+                             context: EngineContext) -> ScenarioResult:
+    """Component-tolerance Monte-Carlo yield across a design sweep."""
+    from ..design import DesignSpec, DeviceScan, analyze_yield
+
+    design = DesignSpec.from_dict(
+        {**dict(spec.params["design"]), "engine": context.engine})
+    feasibility = DeviceScan(design).run()
+    yields = feasibility.yield_grid().ravel()
+
+    result = _new_result(spec, context)
+    result.metrics.update({
+        "grid_points": float(feasibility.size),
+        "nominal_feasible_fraction": feasibility.feasible_fraction,
+        "yield_min": float(np.nanmin(yields)),
+        "yield_mean": float(np.nanmean(yields)),
+        "yield_max": float(np.nanmax(yields)),
+    })
+    analysis_point = int(spec.params["analysis_point"])
+    report = analyze_yield(design, flat_index=analysis_point)
+    result.metrics["analysis_yield_fraction"] = report.yield_fraction
+    result.metrics["analysis_worst_case_feasible"] = \
+        float(report.worst_case_feasible)
+    result.metrics["analysis_corners"] = float(len(report.corners))
+
+    rows = []
+    for flat in range(feasibility.size):
+        assignment = feasibility.point_parameters(flat)
+        rows.append([", ".join(f"{k}={v:g}"
+                               for k, v in assignment.items()),
+                     {1: "feasible", 0: "infeasible",
+                      -1: "unknown"}[int(feasibility.verdicts[flat])],
+                     float(feasibility.robustness[flat]),
+                     float(yields[flat])])
+    result.add_table(
+        ["design point", "nominal verdict", "margin", "yield"], rows,
+        title=f"tolerance yield over {design.tolerance_samples} seeded "
+              f"samples per point (engine = {context.engine})")
+    result.add_table(
+        ["corner", "feasible"],
+        [[", ".join(f"{k}={v:g}" for k, v in corner["assignment"].items()),
+          "yes" if corner["feasible"] else "no"]
+         for corner in report.corners],
+        title=f"worst-case corners at design point #{analysis_point}")
+    result.notes.append(
+        f"yield is reproducible for any worker count: each element draws "
+        f"from its own SHA-256 seed stream (root seed {design.seed})")
+    return result
+
+
+register_scenario(Scenario(
+    spec=ScenarioSpec(
+        name="tolerance_yield",
+        engine="auto",
+        temperature=1.0,
+        device=dict(STANDARD_DEVICE),
+        observables=("yield_min", "yield_mean", "yield_max",
+                     "analysis_yield_fraction",
+                     "analysis_worst_case_feasible"),
+        seed=7,
+        params={"design": {
+            "name": "tolerance_yield",
+            "device": dict(STANDARD_DEVICE),
+            "axes": [
+                {"parameter": "gate_capacitance", "start": 8e-19,
+                 "stop": 5e-18, "points": 9, "spacing": "log"},
+            ],
+            "constraints": [
+                {"type": "gain", "threshold": 1.0},
+                {"type": "on_off_ratio", "threshold": 10.0},
+                {"type": "max_temperature"},
+            ],
+            "drain_voltage": 2e-3,
+            "seed": 7,
+            "tolerances": {
+                "junction_capacitance": {"kind": "tolerance",
+                                         "tolerance": 0.2},
+                "gate_capacitance": {"kind": "tolerance", "tolerance": 0.2,
+                                     "distribution": "normal"},
+                "junction_resistance": {"kind": "tolerance",
+                                        "tolerance": 0.3},
+            },
+            "tolerance_samples": 32,
+            "chunk_size": 16,
+        }, "analysis_point": 4},
+    ),
+    compute=_compute_tolerance_yield,
+    supported_engines=("auto", "analytic", "master"),
+    title="Tolerance yield: how much fabrication spread a design survives",
+    claim="Feasible designs near the window edge are fragile: component "
+          "tolerances push them out, so usable yield falls before the "
+          "nominal design fails (paper S2).",
+    expected=("per-point tolerance-MC yield between 0 and 1",
+              "yield lowest at the fragile edge of the feasible window",
+              "a worst-case corner table for the analysis point"),
+))
+
+
 __all__ = ["STANDARD_DEVICE", "STANDARD_GATE_PERIOD"]

@@ -1,0 +1,1 @@
+"""Tests of the design-space studio (``repro.design``)."""

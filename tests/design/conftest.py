@@ -1,0 +1,28 @@
+"""Shared builders for the design-layer tests."""
+
+from repro.design import DesignSpec
+
+GAIN = {"type": "gain", "threshold": 1.0}
+ON_OFF = {"type": "on_off_ratio", "threshold": 10.0}
+MAX_T = {"type": "max_temperature"}
+
+#: A tolerance block used by several MC-yield tests.
+TOLERANCES = {
+    "junction_capacitance": {"kind": "tolerance", "tolerance": 0.2},
+    "gate_capacitance": {"kind": "tolerance", "tolerance": 0.2,
+                         "distribution": "normal"},
+}
+
+
+def make_spec(**overrides) -> DesignSpec:
+    """A small 9-point analytic design spec, overridable per test."""
+    payload = {
+        "name": "unit_scan",
+        "engine": "analytic",
+        "axes": [{"parameter": "gate_capacitance", "start": 5e-19,
+                  "stop": 5e-18, "points": 9, "spacing": "log"}],
+        "constraints": [GAIN, ON_OFF, MAX_T],
+        "chunk_size": 3,
+    }
+    payload.update(overrides)
+    return DesignSpec.from_dict(payload)

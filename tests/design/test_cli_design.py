@@ -1,0 +1,84 @@
+"""Tests of the ``python -m repro design`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from .conftest import make_spec
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "scan.json"
+    path.write_text(json.dumps(make_spec().to_dict()))
+    return str(path)
+
+
+def test_demo_scan_prints_summary_and_ascii_map(capsys):
+    assert main(["design", "--demo", "--no-cache"]) == 0
+    output = capsys.readouterr().out
+    assert "engine: analytic" in output
+    assert "verdicts:" in output
+    assert "#" in output   # at least one feasible cell in the map
+
+
+def test_spec_file_scan_json_output(spec_file, capsys):
+    assert main(["design", "--spec", spec_file, "--no-cache",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "feasibility-map"
+    assert payload["engine"] == "analytic"
+    assert len(payload["verdicts"]) == 9
+    assert payload["chunks_computed"] == 3
+
+
+def test_cache_dir_enables_resume(spec_file, tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["design", "--spec", spec_file, "--cache-dir", cache,
+                 "--json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["chunks_resumed"] == 0
+    assert main(["design", "--spec", spec_file, "--cache-dir", cache,
+                 "--json"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["chunks_resumed"] == 3
+    assert second["verdicts"] == first["verdicts"]
+
+
+def test_engine_override_and_validation(spec_file, capsys):
+    assert main(["design", "--spec", spec_file, "--no-cache", "--engine",
+                 "master", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["engine"] == "master"
+    assert main(["design", "--spec", spec_file, "--engine",
+                 "warp-drive"]) == 2
+    assert "unknown engine" in capsys.readouterr().err
+
+
+def test_yield_point_report(tmp_path, capsys):
+    spec = make_spec(tolerances={
+        "gate_capacitance": {"kind": "tolerance", "tolerance": 0.2}},
+        tolerance_samples=8)
+    path = tmp_path / "tol.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    assert main(["design", "--spec", str(path), "--yield-point", "4",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["samples"] == 8
+    assert 0.0 <= payload["yield_fraction"] <= 1.0
+    assert len(payload["corners"]) == 2
+
+
+def test_missing_and_conflicting_sources_exit_2(spec_file, capsys):
+    assert main(["design"]) == 2
+    capsys.readouterr()
+    assert main(["design", "--demo", "--spec", spec_file]) == 2
+
+
+def test_invalid_spec_file_fails_cleanly(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    assert main(["design", "--spec", str(path)]) == 1
+    assert "invalid design JSON" in capsys.readouterr().err

@@ -1,0 +1,165 @@
+"""Constraint classes: verdicts, margins, kinds, and the type registry."""
+
+import math
+
+import pytest
+
+from repro.design import build_constraint, build_constraints
+from repro.design.constraints import (
+    CONSTRAINT_TYPES,
+    ConstraintVerdict,
+    DesignPoint,
+)
+from repro.devices import SETTransistor
+from repro.errors import ValidationError
+
+
+def make_point(device=None, temperature=1.0, on=1e-9, off=1e-12):
+    device = device or SETTransistor(junction_capacitance=1e-18,
+                                     gate_capacitance=2e-18,
+                                     junction_resistance=1e6)
+    return DesignPoint(device=device, temperature=temperature,
+                       drain_voltage=2e-3, on_current=on, off_current=off)
+
+
+class TestRegistry:
+    def test_five_constraint_types_are_registered(self):
+        assert set(CONSTRAINT_TYPES) == {
+            "gain", "on_off_ratio", "max_temperature", "on_current",
+            "modulation_depth"}
+
+    def test_declarations_without_a_type_are_rejected(self):
+        with pytest.raises(ValidationError, match="needs a 'type'"):
+            build_constraint({"threshold": 1.0})
+
+    def test_unknown_types_are_rejected(self):
+        with pytest.raises(ValidationError, match="unknown constraint type"):
+            build_constraint({"type": "impedance"})
+
+    def test_bad_keyword_arguments_become_validation_errors(self):
+        with pytest.raises(ValidationError, match="invalid 'gain'"):
+            build_constraint({"type": "gain"})   # threshold is required
+        with pytest.raises(ValidationError, match="invalid 'gain'"):
+            build_constraint({"type": "gain", "threshold": 1.0,
+                              "kt_margin": 10.0})
+
+    def test_duplicate_types_are_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate constraint"):
+            build_constraints([{"type": "gain", "threshold": 1.0},
+                               {"type": "gain", "threshold": 2.0}])
+
+    def test_kind_override_and_vocabulary(self):
+        diagnostic = build_constraint({"type": "gain", "threshold": 1.0,
+                                       "kind": "diagnostic"})
+        assert diagnostic.kind == "diagnostic"
+        with pytest.raises(ValidationError, match="constraint kind"):
+            build_constraint({"type": "gain", "threshold": 1.0,
+                              "kind": "soft"})
+
+    def test_to_dict_round_trips_through_build(self):
+        for payload in ({"type": "gain", "threshold": 2.0},
+                        {"type": "max_temperature", "threshold": 1.5,
+                         "kt_margin": 20.0},
+                        {"type": "modulation_depth", "threshold": 0.5}):
+            constraint = build_constraint(payload)
+            rebuilt = build_constraint(constraint.to_dict())
+            assert rebuilt.to_dict() == constraint.to_dict()
+
+
+class TestGain:
+    def test_gain_is_the_capacitance_ratio(self):
+        constraint = build_constraint({"type": "gain", "threshold": 1.0})
+        verdict = constraint.evaluate(make_point())
+        # Cg/Cj = 2 for the standard device.
+        assert verdict.value == pytest.approx(2.0)
+        assert verdict.satisfied
+        assert verdict.margin == pytest.approx(1.0)
+
+    def test_gain_below_threshold_fails_with_negative_margin(self):
+        constraint = build_constraint({"type": "gain", "threshold": 4.0})
+        verdict = constraint.evaluate(make_point())
+        assert not verdict.satisfied
+        assert verdict.margin == pytest.approx(-0.5)
+
+
+class TestOnOffRatio:
+    def test_margin_is_in_decades(self):
+        constraint = build_constraint({"type": "on_off_ratio",
+                                       "threshold": 10.0})
+        verdict = constraint.evaluate(make_point(on=1e-9, off=1e-12))
+        assert verdict.value == pytest.approx(1e3)
+        assert verdict.margin == pytest.approx(2.0)
+        assert verdict.satisfied
+
+    def test_zero_off_current_is_floored_not_divided_by(self):
+        constraint = build_constraint({"type": "on_off_ratio",
+                                       "threshold": 10.0})
+        verdict = constraint.evaluate(make_point(on=1e-9, off=0.0))
+        assert math.isfinite(verdict.value)
+        assert verdict.satisfied
+
+    def test_nan_currents_give_an_unknown_verdict(self):
+        constraint = build_constraint({"type": "on_off_ratio",
+                                       "threshold": 10.0})
+        verdict = constraint.evaluate(make_point(on=math.nan))
+        assert not verdict.satisfied
+        assert math.isnan(verdict.margin)
+        assert math.isnan(verdict.value)
+
+
+class TestMaxTemperature:
+    def test_cold_operation_has_headroom(self):
+        constraint = build_constraint({"type": "max_temperature"})
+        verdict = constraint.evaluate(make_point(temperature=0.5))
+        assert verdict.value == pytest.approx(
+            make_point().device.max_operating_temperature(margin=40.0))
+        assert verdict.satisfied
+        assert verdict.margin > 0.0
+
+    def test_hot_operation_fails(self):
+        constraint = build_constraint({"type": "max_temperature"})
+        verdict = constraint.evaluate(make_point(temperature=300.0))
+        assert not verdict.satisfied
+        assert verdict.margin < 0.0
+
+    def test_kt_margin_must_be_positive(self):
+        with pytest.raises(ValidationError, match="kt_margin"):
+            build_constraint({"type": "max_temperature", "kt_margin": 0.0})
+
+
+class TestOnCurrentAndModulation:
+    def test_on_current_floor(self):
+        constraint = build_constraint({"type": "on_current",
+                                       "threshold": 1e-12})
+        assert constraint.evaluate(make_point(on=1e-9)).margin == \
+            pytest.approx(3.0)
+        assert not constraint.evaluate(make_point(on=1e-15)).satisfied
+
+    def test_modulation_depth_is_diagnostic_by_default(self):
+        constraint = build_constraint({"type": "modulation_depth",
+                                       "threshold": 0.4})
+        assert constraint.kind == "diagnostic"
+        verdict = constraint.evaluate(make_point(on=3e-9, off=1e-9))
+        assert verdict.value == pytest.approx(0.5)
+        assert verdict.margin == pytest.approx(0.1)
+        assert verdict.satisfied
+
+    def test_dead_device_modulation_is_unknown(self):
+        constraint = build_constraint({"type": "modulation_depth",
+                                       "threshold": 0.5})
+        verdict = constraint.evaluate(make_point(on=0.0, off=0.0))
+        assert math.isnan(verdict.margin)
+
+
+class TestVerdictModel:
+    def test_round_trip(self):
+        verdict = ConstraintVerdict(name="gain", kind="hard", value=2.0,
+                                    threshold=1.0, satisfied=True,
+                                    margin=1.0)
+        assert ConstraintVerdict.from_dict(verdict.to_dict()) == verdict
+
+    def test_unknown_verdict_is_unsatisfied_with_nan_margin(self):
+        verdict = ConstraintVerdict.unknown("gain", "hard", 1.0)
+        assert not verdict.satisfied
+        assert math.isnan(verdict.value)
+        assert math.isnan(verdict.margin)

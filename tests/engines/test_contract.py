@@ -271,6 +271,83 @@ class TestEnsembleEquivalence:
         assert session.replicas == 7
 
 
+@pytest.mark.parametrize("name", engine_names())
+class TestCapabilityFlags:
+    """Every advertised EngineCapabilities flag has a conformance check.
+
+    ``stochastic`` (error bars) and ``supports_temperature_array`` are
+    exercised by the contract tests above; these cover the flag surface
+    itself, ``supports_ensemble``, and ``available``.
+    """
+
+    def test_flags_dict_is_complete_and_boolean(self, name):
+        capabilities = get_engine(name).capabilities()
+        flags = capabilities.flags()
+        assert set(flags) == {"stochastic", "supports_ensemble",
+                              "supports_temperature_array", "available"}
+        assert all(isinstance(value, bool) for value in flags.values())
+        assert capabilities.name == name
+
+    def test_ensemble_flag_matches_replica_semantics(self, name, device):
+        # Engines advertising ensembles must honour an explicit replica
+        # count and derive error bars; the rest must still solve cleanly
+        # with replicas requested (ignored, not misinterpreted).
+        session = bind(name, device, replicas=3)
+        observed = session.solve(BiasPoint(0.5 * device.gate_period,
+                                           DRAIN_VOLTAGE))
+        assert np.isfinite(observed.current)
+        if get_engine(name).capabilities().supports_ensemble:
+            assert session.replicas == 3
+            assert observed.stderr is not None
+
+    def test_availability_gates_design_auto_selection(self, name):
+        # The design layer's "auto" engine must introspect the available
+        # flag: an unavailable engine is never picked, whatever its cost.
+        from repro.design import resolve_engine
+
+        auto = resolve_engine("auto")
+        assert auto.capabilities().available
+        if not get_engine(name).capabilities().available:
+            assert auto.name != name
+
+
+@pytest.mark.parametrize("name", engine_names())
+class TestDesignScanEntryPoints:
+    """Design scans run through every registered engine's session protocol."""
+
+    def design_spec(self, name):
+        from repro.design import DesignSpec
+
+        return DesignSpec.from_dict({
+            "name": f"contract_{name.replace('-', '_')}",
+            "engine": name,
+            "axes": [{"parameter": "gate_capacitance",
+                      "values": [1.5e-18, 2.5e-18]}],
+            "constraints": [{"type": "gain", "threshold": 1.0},
+                            {"type": "on_off_ratio", "threshold": 2.0}],
+            "budget": {"max_events": 400, "warmup_events": 50,
+                       "replicas": 3},
+            "seed": 123,
+            "chunk_size": 1,
+        })
+
+    def test_scan_classifies_every_point_through_the_engine(self, name):
+        from repro.design import DeviceScan
+
+        feasibility = DeviceScan(self.design_spec(name)).run()
+        assert feasibility.engine == name
+        assert sum(feasibility.counts().values()) == 2
+        assert not feasibility.is_partial
+        assert np.all(np.isfinite(feasibility.on_currents))
+
+    def test_scan_is_seed_reproducible_per_engine(self, name):
+        from repro.design import DeviceScan
+
+        spec = self.design_spec(name)
+        assert DeviceScan(spec).run().payload_json() == \
+            DeviceScan(spec).run().payload_json()
+
+
 class TestDeprecationShims:
     def test_engine_context_id_vg_warns_exactly_once_and_delegates(self,
                                                                    device):

@@ -1,6 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
 import json
+import re
 
 import pytest
 
@@ -12,7 +13,8 @@ def test_list_shows_at_least_ten_scenarios(capsys):
     output = capsys.readouterr().out
     for name in ("coulomb_oscillations", "electrometer", "set_rng"):
         assert name in output
-    assert "10 registered scenarios" in output
+    match = re.search(r"(\d+) registered scenarios", output)
+    assert match and int(match.group(1)) >= 10
 
 
 def test_list_json(capsys):

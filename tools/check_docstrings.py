@@ -55,6 +55,12 @@ SCOPED_MODULES = [
     "src/repro/resilience/execution.py",
     "src/repro/resilience/faults.py",
     "src/repro/resilience/policy.py",
+    "src/repro/design/__init__.py",
+    "src/repro/design/spec.py",
+    "src/repro/design/constraints.py",
+    "src/repro/design/tolerance.py",
+    "src/repro/design/feasibility.py",
+    "src/repro/design/scan.py",
 ]
 
 #: (module, qualified name) pairs that must carry NumPy-style ``Parameters``
@@ -85,6 +91,9 @@ SECTIONED_CALLABLES = {
     ("src/repro/scenarios/registry.py", "run_scenario"),
     ("src/repro/io/results.py", "ResultCache.load"),
     ("src/repro/io/results.py", "ResultCache.store"),
+    ("src/repro/design/scan.py", "DeviceScan.run"),
+    ("src/repro/design/scan.py", "analyze_yield"),
+    ("src/repro/design/feasibility.py", "FeasibilityMap.from_payload"),
 }
 
 _SECTION_PATTERNS = {
